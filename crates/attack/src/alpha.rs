@@ -1,0 +1,145 @@
+//! The α and P attack constants of Section IV-A.
+//!
+//! α is "the average number of required patterns to determine an
+//! independent missing gate", derived from the pairwise *similarity* of
+//! the candidate gate family (two gates of similarity `s` need `s + 1`
+//! patterns to tell apart in the worst placement, so `α = 1 + avg
+//! similarity`). P is the number of candidate gates an attacker must
+//! consider per missing gate.
+//!
+//! The paper publishes α = 2.45 / 4.2 / 7.4 for 2-/3-/4-input gates
+//! (average similarity 1.45 for 2-input) and P = 2.5 for 2-input gates,
+//! with "more than 12 meaningful gates" for 3-/4-input LUTs. The
+//! [`recomputed_alpha`] value derived from the six-gate family here lands
+//! close to but not exactly on the published constant (the paper does not
+//! give its exact averaging convention); the estimators default to the
+//! published values so Figure 3 reproduces on the paper's scale.
+
+use sttlock_netlist::meaningful_gates;
+
+/// Published α per fan-in (Section IV-A.1).
+///
+/// # Panics
+///
+/// Panics for fan-ins outside 2..=4 — the paper only characterizes those;
+/// use [`alpha_for`] for a total function.
+pub fn paper_alpha(fanin: usize) -> f64 {
+    match fanin {
+        2 => 2.45,
+        3 => 4.2,
+        4 => 7.4,
+        _ => panic!("the paper publishes α only for fan-in 2..=4, got {fanin}"),
+    }
+}
+
+/// Published P (candidate gates) per fan-in (Sections IV-A.2 / IV-A.3).
+///
+/// The paper states P = 2.5 for 2-input missing gates and "more than 12
+/// meaningful gates" for 3-/4-input LUTs; 12.5 is used for those.
+///
+/// # Panics
+///
+/// Panics for fan-ins outside 2..=4; use [`p_for`] for a total function.
+pub fn paper_p(fanin: usize) -> f64 {
+    match fanin {
+        2 => 2.5,
+        3 | 4 => 12.5,
+        _ => panic!("the paper publishes P only for fan-in 2..=4, got {fanin}"),
+    }
+}
+
+/// Total α: published values in the characterized range, geometric
+/// extrapolation outside it (α roughly doubles per added input in the
+/// published data). Fan-in 1 (inverter/buffer in a LUT) needs a single
+/// distinguishing pattern pair, α = 2.
+pub fn alpha_for(fanin: usize) -> f64 {
+    match fanin {
+        0 | 1 => 2.0,
+        2..=4 => paper_alpha(fanin),
+        n => paper_alpha(4) * 1.8f64.powi(n as i32 - 4),
+    }
+}
+
+/// Total P with the same extrapolation policy; fan-in 1 has two
+/// meaningful functions (buffer and inverter).
+pub fn p_for(fanin: usize) -> f64 {
+    match fanin {
+        0 | 1 => 2.0,
+        2..=4 => paper_p(fanin),
+        n => paper_p(4) * 2.0f64.powi(n as i32 - 4),
+    }
+}
+
+/// Average pairwise similarity of the meaningful gate family at the
+/// given fan-in, recomputed from the truth tables (unordered distinct
+/// pairs).
+///
+/// # Panics
+///
+/// Panics if `fanin` is outside 2..=6.
+pub fn recomputed_average_similarity(fanin: usize) -> f64 {
+    let fam = meaningful_gates(fanin);
+    let mut total = 0usize;
+    let mut pairs = 0usize;
+    for i in 0..fam.len() {
+        for j in (i + 1)..fam.len() {
+            total += fam[i].similarity(&fam[j]);
+            pairs += 1;
+        }
+    }
+    total as f64 / pairs as f64
+}
+
+/// α recomputed from first principles: `1 + avg similarity`.
+///
+/// # Panics
+///
+/// Panics if `fanin` is outside 2..=6.
+pub fn recomputed_alpha(fanin: usize) -> f64 {
+    1.0 + recomputed_average_similarity(fanin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_constants() {
+        assert_eq!(paper_alpha(2), 2.45);
+        assert_eq!(paper_alpha(3), 4.2);
+        assert_eq!(paper_alpha(4), 7.4);
+        assert_eq!(paper_p(2), 2.5);
+    }
+
+    #[test]
+    fn recomputed_alpha_is_near_published_for_two_inputs() {
+        // Paper: average similarity 1.45 → α = 2.45. The six-gate family
+        // yields 1.6 under unordered-pair averaging; the estimators use
+        // the published constant, but the recomputation must stay close.
+        let sim = recomputed_average_similarity(2);
+        assert!((sim - 1.6).abs() < 1e-9, "similarity {sim}");
+        assert!((recomputed_alpha(2) - paper_alpha(2)).abs() < 0.5);
+    }
+
+    #[test]
+    fn alpha_grows_with_fanin() {
+        assert!(paper_alpha(3) > paper_alpha(2));
+        assert!(paper_alpha(4) > paper_alpha(3));
+        assert!(alpha_for(5) > alpha_for(4));
+        assert!(alpha_for(6) > alpha_for(5));
+    }
+
+    #[test]
+    fn total_functions_cover_all_fanins() {
+        for k in 0..=6 {
+            assert!(alpha_for(k) >= 2.0);
+            assert!(p_for(k) >= 2.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-in 2..=4")]
+    fn paper_alpha_rejects_out_of_range() {
+        let _ = paper_alpha(5);
+    }
+}

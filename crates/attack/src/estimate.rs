@@ -1,0 +1,351 @@
+//! The analytic attack-effort estimators of Section IV (Equations 1–3).
+//!
+//! The parametric-aware numbers in Figure 3 reach 10²¹⁹, far beyond
+//! `f64`, so efforts are carried in the log₁₀ domain by [`BigEffort`].
+//!
+//! * Equation 1 — independent selection:
+//!   `N_indep = Σᵢ αᵢ · Dᵢ` test clocks.
+//! * Equation 2 — dependent selection:
+//!   `N_dep = Πᵢ αᵢ · Pᵢ · Dᵢ`.
+//! * Equation 3 — brute force against parametric-aware selection:
+//!   `N_bf = 2^I · P^M · D`.
+//!
+//! `Dᵢ` is the number of flip-flops between missing gate `i` and a
+//! primary output (at least 1 clock is always charged); `I` counts the
+//! accessible (non-missing) signals driving missing gates; `D` is the
+//! circuit depth in flip-flops.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use sttlock_netlist::{Netlist, NodeId};
+
+use crate::alpha::{alpha_for, p_for};
+
+/// A non-negative effort count stored as log₁₀ (so 10²¹⁹ is fine).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct BigEffort {
+    log10: f64,
+}
+
+impl BigEffort {
+    /// One unit of effort (a single test clock).
+    pub const ONE: BigEffort = BigEffort { log10: 0.0 };
+
+    /// Effort from a plain count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clocks` is not positive.
+    pub fn from_clocks(clocks: f64) -> Self {
+        assert!(clocks > 0.0, "effort must be positive");
+        BigEffort { log10: clocks.log10() }
+    }
+
+    /// Effort from a log₁₀ magnitude.
+    pub fn from_log10(log10: f64) -> Self {
+        BigEffort { log10 }
+    }
+
+    /// The log₁₀ magnitude.
+    pub fn log10(self) -> f64 {
+        self.log10
+    }
+
+    /// The plain count, saturating at `f64::MAX`.
+    pub fn clocks(self) -> f64 {
+        10f64.powf(self.log10.min(308.0))
+    }
+
+    /// Multiplies two efforts (adds magnitudes).
+    #[must_use]
+    pub fn times(self, other: BigEffort) -> BigEffort {
+        BigEffort { log10: self.log10 + other.log10 }
+    }
+
+    /// Adds two efforts exactly in the log domain.
+    #[must_use]
+    pub fn plus(self, other: BigEffort) -> BigEffort {
+        let (hi, lo) = if self.log10 >= other.log10 {
+            (self.log10, other.log10)
+        } else {
+            (other.log10, self.log10)
+        };
+        BigEffort { log10: hi + (1.0 + 10f64.powf(lo - hi)).log10() }
+    }
+
+    /// Wall-clock years at the given application rate (Figure 3 assumes
+    /// 10⁹ patterns per second on modern testing equipment).
+    pub fn years_at(self, patterns_per_second: f64) -> f64 {
+        let secs_log = self.log10 - patterns_per_second.log10();
+        10f64.powf((secs_log - (365.25 * 24.0 * 3600.0f64).log10()).min(308.0))
+    }
+}
+
+impl fmt::Display for BigEffort {
+    /// Scientific notation matching the paper's "6.07E+219" style.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let exp = self.log10.floor();
+        let mantissa = 10f64.powf(self.log10 - exp);
+        write!(f, "{:.2}E+{:02}", mantissa, exp as i64)
+    }
+}
+
+/// Minimum number of flip-flops between each node and any primary output
+/// (`None` when a node cannot reach an output at all). 0-1 BFS over the
+/// fan-out graph, counting flip-flop crossings.
+pub fn ff_distance_to_output(netlist: &Netlist) -> Vec<Option<u32>> {
+    let mut dist: Vec<Option<u32>> = vec![None; netlist.len()];
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    for &o in netlist.outputs() {
+        if dist[o.index()].is_none() {
+            dist[o.index()] = Some(0);
+            queue.push_back(o);
+        }
+    }
+    // Walk the graph backward: from each reached node to its fan-ins.
+    // Crossing INTO a flip-flop's D-cone costs one clock.
+    while let Some(id) = queue.pop_front() {
+        let d = dist[id.index()].expect("queued nodes have distances");
+        let node = netlist.node(id);
+        let cost = u32::from(node.is_dff());
+        for &f in node.fanin() {
+            let nd = d + cost;
+            if dist[f.index()].map_or(true, |old| nd < old) {
+                dist[f.index()] = Some(nd);
+                if cost == 0 {
+                    queue.push_front(f);
+                } else {
+                    queue.push_back(f);
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// The redacted LUTs ("missing gates") of a netlist.
+pub fn missing_gates(netlist: &Netlist) -> Vec<NodeId> {
+    netlist
+        .iter()
+        .filter(|(_, n)| n.is_lut())
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Equation 1: test clocks to resolve independently selected missing
+/// gates, `Σ αᵢ·Dᵢ`.
+///
+/// Returns [`BigEffort::ONE`] when there are no missing gates (a sane
+/// floor: reading the answer still takes a clock).
+pub fn n_indep(netlist: &Netlist) -> BigEffort {
+    let dist = ff_distance_to_output(netlist);
+    let mut total = 0.0f64;
+    for id in missing_gates(netlist) {
+        let fanin = netlist.node(id).fanin().len();
+        let d = depth_of(&dist, id);
+        total += alpha_for(fanin) * d;
+    }
+    if total <= 0.0 {
+        BigEffort::ONE
+    } else {
+        BigEffort::from_clocks(total)
+    }
+}
+
+/// Equation 2: test clocks against dependent selection, `Π αᵢ·Pᵢ·Dᵢ`.
+pub fn n_dep(netlist: &Netlist) -> BigEffort {
+    let dist = ff_distance_to_output(netlist);
+    let mut log10 = 0.0f64;
+    let luts = missing_gates(netlist);
+    if luts.is_empty() {
+        return BigEffort::ONE;
+    }
+    for id in luts {
+        let fanin = netlist.node(id).fanin().len();
+        let d = depth_of(&dist, id);
+        log10 += (alpha_for(fanin) * p_for(fanin) * d).log10();
+    }
+    BigEffort::from_log10(log10)
+}
+
+/// Equation 3: brute-force clocks against parametric-aware selection,
+/// `2^I · P^M · D`, where `I` counts the accessible signals driving the
+/// missing gates, `M` is the missing-gate count, `P` the candidate count
+/// per gate and `D` the circuit flip-flop depth.
+///
+/// `I` is interpreted as the controllable signals — primary inputs and
+/// flip-flops — in the transitive fan-in cone of the missing gates: the
+/// attacker must sweep their joint assignment to exercise the missing
+/// logic. (This reading reproduces the paper's magnitudes; e.g. its
+/// s641 numbers imply I ≈ PIs + FFs of the cone, not just immediate
+/// drivers.)
+pub fn n_bf(netlist: &Netlist) -> BigEffort {
+    let luts = missing_gates(netlist);
+    if luts.is_empty() {
+        return BigEffort::ONE;
+    }
+    let cone = sttlock_netlist::graph::fanin_cone(netlist, &luts, true);
+    let accessible = cone
+        .iter()
+        .filter(|&&id| {
+            let node = netlist.node(id);
+            node.is_input() || node.is_dff()
+        })
+        .count();
+    let mut p_log_sum = 0.0f64;
+    for &id in &luts {
+        p_log_sum += p_for(netlist.node(id).fanin().len()).log10();
+    }
+    let i = accessible as f64;
+    let d = circuit_depth(netlist).max(1) as f64;
+    BigEffort::from_log10(i * 2f64.log10() + p_log_sum + d.log10())
+}
+
+fn depth_of(dist: &[Option<u32>], id: NodeId) -> f64 {
+    // A gate that reaches an output with no flip-flops still needs one
+    // clock per pattern; unreachable gates (dangling cones) are charged
+    // the same floor.
+    dist[id.index()].map_or(1.0, |d| f64::from(d.max(1)))
+}
+
+/// Circuit depth `D`: the largest flip-flop count from any node to a
+/// primary output — the paper's "maximum number of flip-flops on a path
+/// from a primary input to a primary output" computed on the acyclic
+/// min-distance approximation.
+pub fn circuit_depth(netlist: &Netlist) -> u32 {
+    ff_distance_to_output(netlist)
+        .into_iter()
+        .flatten()
+        .max()
+        .unwrap_or(0)
+}
+
+/// Bundle of all three estimates for one hybrid netlist.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecurityEstimate {
+    /// Equation 1 (testing attack on independent missing gates).
+    pub n_indep: BigEffort,
+    /// Equation 2 (testing attack on dependent missing gates).
+    pub n_dep: BigEffort,
+    /// Equation 3 (brute force / ML attack).
+    pub n_bf: BigEffort,
+}
+
+/// Computes all three estimates.
+pub fn security_estimate(netlist: &Netlist) -> SecurityEstimate {
+    SecurityEstimate {
+        n_indep: n_indep(netlist),
+        n_dep: n_dep(netlist),
+        n_bf: n_bf(netlist),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sttlock_netlist::{GateKind, NetlistBuilder};
+
+    /// in → g0 → ff1 → g1 → ff2 → g2 → out (all NAND2, side input c).
+    fn pipeline(lutify: &[&str]) -> Netlist {
+        let mut b = NetlistBuilder::new("pipe");
+        b.input("in");
+        b.input("c");
+        b.gate("g0", GateKind::Nand, &["in", "c"]);
+        b.dff("ff1", "g0");
+        b.gate("g1", GateKind::Nand, &["ff1", "c"]);
+        b.dff("ff2", "g1");
+        b.gate("g2", GateKind::Nand, &["ff2", "c"]);
+        b.output("g2");
+        let mut n = b.finish().unwrap();
+        for name in lutify {
+            let id = n.find(name).unwrap();
+            n.replace_gate_with_lut(id).unwrap();
+        }
+        n
+    }
+
+    #[test]
+    fn big_effort_arithmetic() {
+        let a = BigEffort::from_clocks(1000.0);
+        assert!((a.log10() - 3.0).abs() < 1e-12);
+        let b = a.times(BigEffort::from_clocks(100.0));
+        assert!((b.log10() - 5.0).abs() < 1e-12);
+        let c = a.plus(a);
+        assert!((c.clocks() - 2000.0).abs() < 1e-6);
+        assert_eq!(BigEffort::from_log10(219.783).to_string(), "6.07E+219");
+    }
+
+    #[test]
+    fn years_at_rate() {
+        // 1e9 patterns/s for a year ≈ 3.156e16 patterns.
+        let year = BigEffort::from_clocks(1e9 * 365.25 * 24.0 * 3600.0);
+        let y = year.years_at(1e9);
+        assert!((y - 1.0).abs() < 1e-9, "{y}");
+    }
+
+    #[test]
+    fn ff_distance_counts_crossings() {
+        let n = pipeline(&[]);
+        let dist = ff_distance_to_output(&n);
+        assert_eq!(dist[n.find("g2").unwrap().index()], Some(0));
+        assert_eq!(dist[n.find("g1").unwrap().index()], Some(1));
+        assert_eq!(dist[n.find("g0").unwrap().index()], Some(2));
+        assert_eq!(dist[n.find("in").unwrap().index()], Some(2));
+        assert_eq!(circuit_depth(&n), 2);
+    }
+
+    #[test]
+    fn eq1_sums_alpha_times_depth() {
+        let n = pipeline(&["g0", "g2"]);
+        // g0: α=2.45, D=2; g2: α=2.45, D=max(0,1)=1 → 2.45*2 + 2.45*1.
+        let e = n_indep(&n);
+        assert!((e.clocks() - (2.45 * 2.0 + 2.45)).abs() < 1e-6, "{e}");
+    }
+
+    #[test]
+    fn eq2_multiplies() {
+        let n = pipeline(&["g0", "g1"]);
+        // g0: αPD = 2.45·2.5·2; g1: 2.45·2.5·1 → product.
+        let e = n_dep(&n);
+        let expect = (2.45 * 2.5 * 2.0) * (2.45 * 2.5 * 1.0);
+        assert!((e.clocks() - expect).abs() < 1e-6, "{e}");
+    }
+
+    #[test]
+    fn eq3_is_exponential_in_inputs_and_gates() {
+        let n = pipeline(&["g0", "g1", "g2"]);
+        // Controllable cone of the three missing gates: in, c, ff1, ff2
+        // → I = 4; M = 3 two-input gates (P = 2.5 each); D = 2.
+        let e = n_bf(&n);
+        let expect = 2f64.powi(4) * 2.5f64.powi(3) * 2.0;
+        assert!((e.clocks() - expect).abs() < 1e-6, "{e}");
+    }
+
+    #[test]
+    fn eq3_counts_transitive_cone_not_immediate_drivers() {
+        // Only g2 is missing, but its transitive cone reaches both
+        // flip-flops and both primary inputs: I = 4, not 2.
+        let n = pipeline(&["g2"]);
+        let e = n_bf(&n);
+        let expect = 2f64.powi(4) * 2.5 * 2.0;
+        assert!((e.clocks() - expect).abs() < 1e-6, "{e}");
+    }
+
+    #[test]
+    fn dependent_beats_independent() {
+        // With several missing gates, the product (Eq. 2) dwarfs the sum
+        // (Eq. 1) — the paper's security ordering.
+        let n = pipeline(&["g0", "g1", "g2"]);
+        let s = security_estimate(&n);
+        assert!(s.n_dep.log10() > s.n_indep.log10());
+    }
+
+    #[test]
+    fn no_luts_floors_at_one() {
+        let n = pipeline(&[]);
+        assert_eq!(n_indep(&n), BigEffort::ONE);
+        assert_eq!(n_dep(&n), BigEffort::ONE);
+        assert_eq!(n_bf(&n), BigEffort::ONE);
+    }
+}

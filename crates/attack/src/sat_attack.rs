@@ -1,0 +1,479 @@
+//! The oracle-guided SAT attack on redacted LUT configurations.
+//!
+//! This is the executable counterpart of the decamouflaging /
+//! machine-learning attack the paper cites as \[11\] (El Massad et al.):
+//! iteratively find *distinguishing input patterns* (DIPs) — inputs on
+//! which two key hypotheses disagree — query the oracle, and constrain
+//! the key space until all remaining keys are functionally equivalent.
+//!
+//! The attack runs on the full-scan, single-frame model (state bits are
+//! inputs, next-state bits are outputs). The paper's defense disables
+//! scan access in fielded parts precisely because this attack is so
+//! effective when scan is open; the `attack_resilience` example and the
+//! Criterion benches quantify the growth of [`SatAttackOutcome::dips`]
+//! and solver conflicts as the selection algorithms strengthen.
+
+use sttlock_netlist::{Netlist, NodeId, TruthTable};
+use sttlock_sat::encode::{assert_some_difference_gated, encode, tie_keys, Encoding};
+use sttlock_sat::unroll::encode_unrolled;
+use sttlock_sat::{Lit, SatResult, Solver, SolverStats, Var};
+use sttlock_sim::{SimError, Simulator};
+
+/// Attack limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatAttackConfig {
+    /// Abort after this many DIP iterations (0 = unlimited).
+    pub max_dips: usize,
+}
+
+impl Default for SatAttackConfig {
+    fn default() -> Self {
+        SatAttackConfig { max_dips: 10_000 }
+    }
+}
+
+/// Attack result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SatAttackOutcome {
+    /// Recovered configuration per missing gate (functionally equivalent
+    /// to the oracle on the single-frame model). `None` if the attack hit
+    /// its DIP limit.
+    pub bitstream: Option<Vec<(NodeId, TruthTable)>>,
+    /// Distinguishing input patterns required.
+    pub dips: usize,
+    /// Solver counters at the end of the attack.
+    pub solver_stats: SolverStats,
+}
+
+impl SatAttackOutcome {
+    /// Whether the key space was reduced to one functional class.
+    pub fn succeeded(&self) -> bool {
+        self.bitstream.is_some()
+    }
+}
+
+/// Runs the oracle-guided SAT attack.
+///
+/// `redacted` is the foundry view; `oracle` the programmed twin.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the oracle is unprogrammed or structurally
+/// incompatible.
+///
+/// # Panics
+///
+/// Panics if `redacted` and `oracle` are not the same design, or if the
+/// key constraints ever contradict the oracle (impossible for a genuine
+/// programmed twin).
+pub fn run(
+    redacted: &Netlist,
+    oracle: &Netlist,
+    cfg: &SatAttackConfig,
+) -> Result<SatAttackOutcome, SimError> {
+    assert_eq!(redacted.len(), oracle.len(), "netlists must be the same design");
+    let mut oracle_sim = Simulator::new(oracle)?;
+
+    let mut solver = Solver::new();
+    let e1 = encode(redacted, &mut solver);
+    let e2 = encode(redacted, &mut solver);
+    // Two key hypotheses over the same circuit: inputs and state shared,
+    // keys independent, some observable output must differ.
+    for (&a, &b) in e1.inputs.iter().zip(&e2.inputs) {
+        equal(&mut solver, a, b);
+    }
+    for ((_, a), (_, b)) in e1.state_inputs.iter().zip(&e2.state_inputs) {
+        equal(&mut solver, *a, *b);
+    }
+    let pairs = observation_pairs(&e1, &e2);
+    let miter_active = assert_some_difference_gated(&mut solver, &pairs);
+
+    let mut dips = 0usize;
+    loop {
+        if cfg.max_dips != 0 && dips >= cfg.max_dips {
+            return Ok(SatAttackOutcome {
+                bitstream: None,
+                dips,
+                solver_stats: solver.stats(),
+            });
+        }
+        match solver.solve_with(&[miter_active]) {
+            SatResult::Unsat => break,
+            SatResult::Sat => {
+                dips += 1;
+                // Extract the DIP (inputs + state) from the model.
+                let inputs: Vec<u64> = e1
+                    .inputs
+                    .iter()
+                    .map(|&v| full_word(solver.value(v)))
+                    .collect();
+                let state: Vec<u64> = e1
+                    .state_inputs
+                    .iter()
+                    .map(|(_, v)| full_word(solver.value(*v)))
+                    .collect();
+                oracle_sim.eval_frame(&inputs, &state)?;
+                let response = oracle_sim.observation();
+                // Both key hypotheses must now agree with the oracle on
+                // this frame: constrain each copy with a fresh encoding
+                // whose keys are tied to that copy.
+                for enc in [&e1, &e2] {
+                    let ok = add_io_constraint(&mut solver, redacted, enc, &inputs, &state, &response);
+                    assert!(ok, "oracle response contradicts the key constraints");
+                }
+            }
+        }
+    }
+
+    // Key space collapsed: any remaining key is functionally correct.
+    // Solve without the miter to extract one.
+    let res = solver.solve();
+    assert_eq!(res, SatResult::Sat, "constraint set must stay satisfiable");
+    let bitstream = e1.decode_keys(&solver);
+    Ok(SatAttackOutcome {
+        bitstream: Some(bitstream),
+        dips,
+        solver_stats: solver.stats(),
+    })
+}
+
+/// Limits of the no-scan sequential attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SequentialAttackConfig {
+    /// Clock cycles to unroll from reset. The attack is only complete up
+    /// to this bound: the recovered keys are guaranteed equivalent for
+    /// input sequences of at most `frames` cycles.
+    pub frames: usize,
+    /// Abort after this many distinguishing sequences (0 = unlimited).
+    pub max_dips: usize,
+}
+
+impl Default for SequentialAttackConfig {
+    fn default() -> Self {
+        SequentialAttackConfig { frames: 8, max_dips: 10_000 }
+    }
+}
+
+/// Outcome of the no-scan attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequentialAttackOutcome {
+    /// Recovered configuration, equivalent to the oracle for all input
+    /// sequences up to the unroll bound. `None` on DIP-limit abort.
+    pub bitstream: Option<Vec<(NodeId, TruthTable)>>,
+    /// Distinguishing input *sequences* required.
+    pub dips: usize,
+    /// The unroll bound the result is valid for.
+    pub frames: usize,
+    /// Solver counters.
+    pub solver_stats: SolverStats,
+}
+
+/// The **no-scan** variant of the SAT attack: the scan chain is locked
+/// (the paper's deployment posture), so the oracle can only be driven
+/// with primary-input sequences from reset and observed at its primary
+/// outputs. Key reasoning spans `cfg.frames` unrolled cycles.
+///
+/// Compared with [`run`], the search space per query is `2^(I·k)` input
+/// sequences instead of `2^(I+S)` frames and each CNF is `k` copies of
+/// the circuit per miter side — the concrete cost of losing scan access,
+/// and the correctness is only *bounded* (sequences longer than the
+/// unroll may still distinguish keys). Both effects are what the paper
+/// counts on when it instructs designers to disable scan.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the oracle is unprogrammed or incompatible.
+///
+/// # Panics
+///
+/// Panics if the netlists are not the same design or `cfg.frames` is 0.
+pub fn run_sequential(
+    redacted: &Netlist,
+    oracle: &Netlist,
+    cfg: &SequentialAttackConfig,
+) -> Result<SequentialAttackOutcome, SimError> {
+    assert_eq!(redacted.len(), oracle.len(), "netlists must be the same design");
+    let mut oracle_sim = Simulator::new(oracle)?;
+    let k = cfg.frames;
+
+    let mut solver = Solver::new();
+    let u1 = encode_unrolled(redacted, &mut solver, k);
+    let u2 = encode_unrolled(redacted, &mut solver, k);
+    // Shared input sequence, independent keys, some output at some frame
+    // must differ.
+    let mut pairs: Vec<(Var, Var)> = Vec::new();
+    for f in 0..k {
+        for (&a, &b) in u1.inputs[f].iter().zip(&u2.inputs[f]) {
+            equal(&mut solver, a, b);
+        }
+        pairs.extend(u1.outputs[f].iter().copied().zip(u2.outputs[f].iter().copied()));
+    }
+    // Keys of the two unrolled copies are internally shared per copy;
+    // between copies they stay free.
+    let miter_active = sttlock_sat::encode::assert_some_difference_gated(&mut solver, &pairs);
+
+    let mut dips = 0usize;
+    loop {
+        if cfg.max_dips != 0 && dips >= cfg.max_dips {
+            return Ok(SequentialAttackOutcome {
+                bitstream: None,
+                dips,
+                frames: k,
+                solver_stats: solver.stats(),
+            });
+        }
+        match solver.solve_with(&[miter_active]) {
+            SatResult::Unsat => break,
+            SatResult::Sat => {
+                dips += 1;
+                // Extract the distinguishing input sequence.
+                let sequence: Vec<Vec<u64>> = (0..k)
+                    .map(|f| {
+                        u1.inputs[f]
+                            .iter()
+                            .map(|&v| full_word(solver.value(v)))
+                            .collect()
+                    })
+                    .collect();
+                // Oracle responses from reset.
+                let responses = oracle_sim.run(&sequence)?;
+                // Constrain both copies to reproduce the oracle on this
+                // sequence: one fresh unrolled copy per key side.
+                for base in [&u1, &u2] {
+                    let copy = encode_unrolled(redacted, &mut solver, k);
+                    sttlock_sat::encode::tie_keys(&mut solver, &base.frames[0], &copy.frames[0]);
+                    for f in 0..k {
+                        for (&v, &w) in copy.inputs[f].iter().zip(&sequence[f]) {
+                            solver.add_clause(&[Lit::new(v, w & 1 == 0)]);
+                        }
+                        for (&v, &w) in copy.outputs[f].iter().zip(&responses[f]) {
+                            solver.add_clause(&[Lit::new(v, w & 1 == 0)]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let res = solver.solve();
+    assert_eq!(res, SatResult::Sat, "constraint set must stay satisfiable");
+    let bitstream = u1.frames[0].decode_keys(&solver);
+    Ok(SequentialAttackOutcome {
+        bitstream: Some(bitstream),
+        dips,
+        frames: k,
+        solver_stats: solver.stats(),
+    })
+}
+
+/// Verifies a recovered bitstream against the oracle by random
+/// single-frame simulation. Returns the number of mismatching frames.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on structural mismatches.
+pub fn verify_bitstream<R: rand::Rng + ?Sized>(
+    redacted: &Netlist,
+    oracle: &Netlist,
+    bitstream: &[(NodeId, TruthTable)],
+    frames: usize,
+    rng: &mut R,
+) -> Result<usize, SimError> {
+    let mut rebuilt = redacted.clone();
+    rebuilt.program(bitstream);
+    let mut a = Simulator::new(&rebuilt)?;
+    let mut b = Simulator::new(oracle)?;
+    let n_in = redacted.inputs().len();
+    let n_state = a.dff_ids().len();
+    let mut mismatches = 0usize;
+    for _ in 0..frames {
+        let inputs: Vec<u64> = (0..n_in).map(|_| rng.gen()).collect();
+        let state: Vec<u64> = (0..n_state).map(|_| rng.gen()).collect();
+        a.eval_frame(&inputs, &state)?;
+        b.eval_frame(&inputs, &state)?;
+        let oa = a.observation();
+        let ob = b.observation();
+        for (x, y) in oa.iter().zip(&ob) {
+            mismatches += (x ^ y).count_ones() as usize;
+        }
+    }
+    Ok(mismatches)
+}
+
+fn observation_pairs(e1: &Encoding, e2: &Encoding) -> Vec<(Var, Var)> {
+    let mut pairs: Vec<(Var, Var)> = e1
+        .outputs
+        .iter()
+        .copied()
+        .zip(e2.outputs.iter().copied())
+        .collect();
+    pairs.extend(
+        e1.next_state
+            .iter()
+            .map(|(_, v)| *v)
+            .zip(e2.next_state.iter().map(|(_, v)| *v)),
+    );
+    pairs
+}
+
+fn equal(solver: &mut Solver, a: Var, b: Var) {
+    solver.add_clause(&[Lit::pos(a), Lit::neg(b)]);
+    solver.add_clause(&[Lit::neg(a), Lit::pos(b)]);
+}
+
+fn full_word(v: Option<bool>) -> u64 {
+    match v {
+        Some(true) => u64::MAX,
+        _ => 0,
+    }
+}
+
+/// Encodes one more copy of the netlist with keys tied to `enc`, inputs
+/// and state pinned to the DIP, and observations pinned to the oracle
+/// response. Returns `false` if the solver became unsatisfiable.
+fn add_io_constraint(
+    solver: &mut Solver,
+    redacted: &Netlist,
+    enc: &Encoding,
+    inputs: &[u64],
+    state: &[u64],
+    response: &[u64],
+) -> bool {
+    let copy = encode(redacted, solver);
+    tie_keys(solver, enc, &copy);
+    let mut ok = true;
+    for (&v, &w) in copy.inputs.iter().zip(inputs) {
+        ok &= solver.add_clause(&[Lit::new(v, w & 1 == 0)]);
+    }
+    for ((_, v), &w) in copy.state_inputs.iter().zip(state) {
+        ok &= solver.add_clause(&[Lit::new(*v, w & 1 == 0)]);
+    }
+    let mut obs: Vec<Var> = copy.outputs.clone();
+    obs.extend(copy.next_state.iter().map(|(_, v)| *v));
+    for (&v, &w) in obs.iter().zip(response) {
+        ok &= solver.add_clause(&[Lit::new(v, w & 1 == 0)]);
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sttlock_netlist::{GateKind, NetlistBuilder};
+
+    fn lockable() -> Netlist {
+        let mut b = NetlistBuilder::new("m");
+        b.input("a");
+        b.input("c");
+        b.input("d");
+        b.gate("g1", GateKind::Nand, &["a", "c"]);
+        b.gate("g2", GateKind::Nor, &["g1", "d"]);
+        b.gate("g3", GateKind::Xor, &["g2", "a"]);
+        b.dff("q", "g3");
+        b.gate("g4", GateKind::And, &["q", "d"]);
+        b.output("g4");
+        b.finish().unwrap()
+    }
+
+    fn lock(names: &[&str]) -> (Netlist, Netlist) {
+        let mut programmed = lockable();
+        for name in names {
+            let id = programmed.find(name).unwrap();
+            programmed.replace_gate_with_lut(id).unwrap();
+        }
+        let (redacted, _) = programmed.redact();
+        (redacted, programmed)
+    }
+
+    #[test]
+    fn recovers_single_missing_gate() {
+        let (redacted, programmed) = lock(&["g2"]);
+        let out = run(&redacted, &programmed, &SatAttackConfig::default()).unwrap();
+        assert!(out.succeeded());
+        let bits = out.bitstream.unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mismatches = verify_bitstream(&redacted, &programmed, &bits, 64, &mut rng).unwrap();
+        assert_eq!(mismatches, 0);
+    }
+
+    #[test]
+    fn recovers_dependent_chain_with_scan_access() {
+        // With full scan even the dependent chain falls — which is why
+        // the paper insists scan is locked in fielded parts.
+        let (redacted, programmed) = lock(&["g1", "g2", "g3"]);
+        let out = run(&redacted, &programmed, &SatAttackConfig::default()).unwrap();
+        assert!(out.succeeded());
+        let bits = out.bitstream.unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mismatches = verify_bitstream(&redacted, &programmed, &bits, 64, &mut rng).unwrap();
+        assert_eq!(mismatches, 0, "equivalence class member must match oracle");
+    }
+
+    #[test]
+    fn dip_limit_aborts_gracefully() {
+        let (redacted, programmed) = lock(&["g1", "g2", "g3"]);
+        let cfg = SatAttackConfig { max_dips: 1 };
+        let out = run(&redacted, &programmed, &cfg).unwrap();
+        if !out.succeeded() {
+            assert_eq!(out.dips, 1);
+        }
+    }
+
+    #[test]
+    fn sequential_attack_recovers_bounded_equivalent_keys() {
+        let (redacted, programmed) = lock(&["g2", "g3"]);
+        let cfg = SequentialAttackConfig { frames: 4, max_dips: 10_000 };
+        let out = run_sequential(&redacted, &programmed, &cfg).unwrap();
+        let bits = out.bitstream.expect("attack converges on a small design");
+        // Bounded guarantee: replay random sequences of <= `frames`
+        // cycles from reset and compare primary outputs.
+        let mut rebuilt = redacted.clone();
+        rebuilt.program(&bits);
+        let mut a = Simulator::new(&rebuilt).unwrap();
+        let mut b = Simulator::new(&programmed).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..16 {
+            let seq: Vec<Vec<u64>> = (0..cfg.frames)
+                .map(|_| (0..redacted.inputs().len()).map(|_| rng.gen()).collect())
+                .collect();
+            assert_eq!(a.run(&seq).unwrap(), b.run(&seq).unwrap());
+        }
+    }
+
+    #[test]
+    fn sequential_attack_costs_more_than_scan_attack() {
+        // Losing scan access makes each query a k-frame formula; the
+        // solver works strictly harder for the same key material.
+        let (redacted, programmed) = lock(&["g1", "g2", "g3"]);
+        let scan = run(&redacted, &programmed, &SatAttackConfig::default()).unwrap();
+        let cfg = SequentialAttackConfig { frames: 6, max_dips: 10_000 };
+        let noscan = run_sequential(&redacted, &programmed, &cfg).unwrap();
+        assert!(noscan.bitstream.is_some());
+        assert!(
+            noscan.solver_stats.propagations >= scan.solver_stats.propagations,
+            "no-scan {} vs scan {}",
+            noscan.solver_stats.propagations,
+            scan.solver_stats.propagations
+        );
+    }
+
+    #[test]
+    fn no_missing_gates_needs_no_dips() {
+        let n = lockable();
+        let out = run(&n, &n, &SatAttackConfig::default()).unwrap();
+        assert!(out.succeeded());
+        assert_eq!(out.dips, 0);
+        assert!(out.bitstream.unwrap().is_empty());
+    }
+
+    #[test]
+    fn more_missing_gates_need_at_least_as_many_dips() {
+        let (r1, p1) = lock(&["g2"]);
+        let (r3, p3) = lock(&["g1", "g2", "g3"]);
+        let o1 = run(&r1, &p1, &SatAttackConfig::default()).unwrap();
+        let o3 = run(&r3, &p3, &SatAttackConfig::default()).unwrap();
+        assert!(o3.dips >= o1.dips, "{} vs {}", o3.dips, o1.dips);
+    }
+}

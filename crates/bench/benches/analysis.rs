@@ -1,0 +1,75 @@
+//! Analysis-engine micro-benchmarks: power analysis, activity
+//! estimation, logic optimization and SAT equivalence checking — the
+//! building blocks whose scaling determines how large a design the flow
+//! handles interactively.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sttlock_benchgen::profiles;
+use sttlock_core::{Flow, SelectionAlgorithm};
+use sttlock_opt::optimize;
+use sttlock_power::analyze_power;
+use sttlock_sat::equiv::check_equivalence;
+use sttlock_sim::activity::estimate_activity;
+use sttlock_sim::probability::signal_probabilities;
+use sttlock_techlib::Library;
+
+fn bench_analysis(c: &mut Criterion) {
+    let lib = Library::predictive_90nm();
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(10);
+
+    for profile in profiles::up_to(700).into_iter().step_by(3) {
+        let netlist = profile.generate(&mut StdRng::seed_from_u64(42));
+
+        group.bench_with_input(
+            BenchmarkId::new("activity_256c", profile.name),
+            &netlist,
+            |b, n| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    estimate_activity(n, 256, &mut rng).expect("programmed netlist")
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("signal_probabilities", profile.name),
+            &netlist,
+            |b, n| b.iter(|| signal_probabilities(n)),
+        );
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let act = estimate_activity(&netlist, 256, &mut rng).expect("programmed netlist");
+        group.bench_with_input(
+            BenchmarkId::new("power", profile.name),
+            &netlist,
+            |b, n| b.iter(|| analyze_power(n, &lib, &act)),
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("optimize", profile.name),
+            &netlist,
+            |b, n| b.iter(|| optimize(n).expect("valid rewrite")),
+        );
+    }
+
+    // Equivalence proof: original vs its parametric hybrid.
+    let profile = profiles::by_name("s953").expect("known profile");
+    let netlist = profile.generate(&mut StdRng::seed_from_u64(42));
+    let flow = Flow::new(lib);
+    let hybrid = flow
+        .run(&netlist, SelectionAlgorithm::ParametricAware, 42)
+        .expect("flow runs")
+        .hybrid;
+    group.bench_function(BenchmarkId::new("sat_equivalence", profile.name), |b| {
+        b.iter(|| check_equivalence(&netlist, &hybrid).expect("interfaces match"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

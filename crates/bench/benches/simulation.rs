@@ -1,0 +1,63 @@
+//! Bit-parallel simulator throughput: cycles/second on the benchmark
+//! profiles, and the CMOS-vs-hybrid comparison showing that LUT
+//! insertion does not slow the attacker's oracle (relevant to the attack
+//! cost models, which charge per pattern, not per gate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sttlock_benchgen::profiles;
+use sttlock_core::{Flow, SelectionAlgorithm};
+use sttlock_sim::Simulator;
+use sttlock_techlib::Library;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(20);
+    for profile in profiles::up_to(700) {
+        let netlist = profile.generate(&mut StdRng::seed_from_u64(42));
+        let n_inputs = netlist.inputs().len();
+        // 64 lanes x 32 cycles per iteration.
+        group.throughput(Throughput::Elements(64 * 32));
+        group.bench_with_input(
+            BenchmarkId::new("cmos", profile.name),
+            &netlist,
+            |b, n| {
+                let mut sim = Simulator::new(n).expect("programmed netlist");
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| {
+                    for _ in 0..32 {
+                        let pat: Vec<u64> = (0..n_inputs).map(|_| rng.gen()).collect();
+                        sim.step(&pat).expect("arity matches");
+                    }
+                })
+            },
+        );
+    }
+
+    // Hybrid netlist simulates at comparable speed.
+    let profile = profiles::by_name("s1488").expect("known profile");
+    let netlist = profile.generate(&mut StdRng::seed_from_u64(42));
+    let flow = Flow::new(Library::predictive_90nm());
+    let hybrid = flow
+        .run(&netlist, SelectionAlgorithm::ParametricAware, 42)
+        .expect("flow succeeds")
+        .hybrid;
+    let n_inputs = hybrid.inputs().len();
+    group.throughput(Throughput::Elements(64 * 32));
+    group.bench_function(BenchmarkId::new("hybrid", profile.name), |b| {
+        let mut sim = Simulator::new(&hybrid).expect("programmed hybrid");
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            for _ in 0..32 {
+                let pat: Vec<u64> = (0..n_inputs).map(|_| rng.gen()).collect();
+                sim.step(&pat).expect("arity matches");
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Static-timing-analysis throughput — STA dominates the parametric
+//! selection's inner retry loop, so its scaling explains the Table II
+//! CPU times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sttlock_benchgen::profiles;
+use sttlock_sta::analyze;
+use sttlock_techlib::Library;
+
+fn bench_sta(c: &mut Criterion) {
+    let lib = Library::predictive_90nm();
+    let mut group = c.benchmark_group("sta");
+    group.sample_size(20);
+    for profile in profiles::up_to(3000) {
+        let netlist = profile.generate(&mut StdRng::seed_from_u64(42));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.name),
+            &netlist,
+            |b, n| b.iter(|| analyze(n, &lib)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sta);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Regenerates **Figure 1**: comparison of the MTJ-based LUT and static
+//! CMOS circuit styles (delay, active power at α = 10 % / 30 %, standby
+//! power, energy per switching), normalized to static CMOS.
+//!
+//! Two columns per metric: the value published in the paper and the one
+//! derived from the calibrated technology model, plus the residual. The
+//! derived column cannot match every gate exactly — a single per-fan-in
+//! LUT is compared against six different CMOS baselines — but the trends
+//! (overhead shrinking with complexity, exact 3x between the two
+//! activity columns, standby advantage eroding for stacked NAND4/NOR4)
+//! must and do hold.
+
+use sttlock_techlib::{fig1, Library};
+
+fn main() {
+    let lib = Library::predictive_90nm();
+    println!("Figure 1 — MTJ-based LUT vs static CMOS (normalized to CMOS)");
+    println!("technology: calibrated synthetic 90 nm CMOS + STT-LUT model @ {} GHz", lib.clock_ghz());
+    println!();
+    println!(
+        "{:<6} {:<26} {:>10} {:>10} {:>9}",
+        "Gate", "Metric", "published", "derived", "ratio"
+    );
+    println!("{}", "-".repeat(66));
+
+    for e in fig1::PUBLISHED {
+        let cell = lib.gate(e.kind, e.fanin);
+        let lut = lib.lut(e.fanin);
+        let f = lib.clock_ghz();
+
+        let derived_delay = lut.delay_ns / cell.delay_ns;
+        // CMOS active power at activity α: α·f·E_sw (µW). Figure 1 is an
+        // isolated microbenchmark, so the LUT side uses the microbench
+        // read energy (circuit-level analyses apply the duty-derated
+        // `cycle_energy_fj` instead — see `LutParams`).
+        let cmos_active = |alpha: f64| alpha * f * cell.switch_energy_fj;
+        let lut_active = f * lut.microbench_cycle_energy_fj;
+        let derived_ap10 = lut_active / cmos_active(0.10);
+        let derived_ap30 = lut_active / cmos_active(0.30);
+        let derived_standby = lut.standby_nw / cell.leakage_nw;
+        let derived_eps = lut.microbench_cycle_energy_fj / cell.switch_energy_fj;
+
+        let gate = format!("{}{}", e.kind, e.fanin);
+        let rows = [
+            ("Delay", e.delay, derived_delay),
+            ("Active Power (a=10%)", e.active_power_10, derived_ap10),
+            ("Active Power (a=30%)", e.active_power_30, derived_ap30),
+            ("Standby Power", e.standby_power, derived_standby),
+            ("Energy per Switching", e.energy_per_switching, derived_eps),
+        ];
+        for (i, (metric, published, derived)) in rows.iter().enumerate() {
+            let head = if i == 0 { gate.as_str() } else { "" };
+            println!(
+                "{:<6} {:<26} {:>10.2} {:>10.2} {:>8.2}x",
+                head,
+                metric,
+                published,
+                derived,
+                derived / published
+            );
+        }
+        println!();
+    }
+
+    println!("Trend checks (paper Section III):");
+    let d2 = lib.lut(2).delay_ns / lib.gate(sttlock_netlist::GateKind::Nand, 2).delay_ns;
+    let d4 = lib.lut(4).delay_ns / lib.gate(sttlock_netlist::GateKind::Nand, 4).delay_ns;
+    println!("  - LUT delay overhead shrinks with complexity: NAND2 {d2:.2}x -> NAND4 {d4:.2}x");
+    let s2 = lib.lut(2).standby_nw / lib.gate(sttlock_netlist::GateKind::Nand, 2).leakage_nw;
+    println!("  - LUT standby power below small-gate CMOS: NAND2 ratio {s2:.2}");
+    println!("  - LUT active power independent of activity: 10%/30% columns differ exactly 3x");
+}

@@ -1,0 +1,131 @@
+//! Reproduction harness for the evaluation section of
+//! *"Hybrid STT-CMOS Designs for Reverse-engineering Prevention"*.
+//!
+//! One binary per published artifact:
+//!
+//! | Binary | Paper artifact | What it prints |
+//! |---|---|---|
+//! | `fig1` | Figure 1 | MTJ-LUT vs static CMOS ratio table: published values next to the ratios derived from the calibrated technology model |
+//! | `table1` | Table I | Performance / power / area overheads and STT counts for the 12 benchmarks × 3 selection algorithms |
+//! | `table2` | Table II | Selection CPU time per benchmark × algorithm |
+//! | `fig3` | Figure 3 | Required test clocks (log scale) per benchmark × algorithm |
+//! | `ablation` | (ours) | LUT-count and hardening sweeps behind the design choices |
+//!
+//! Every binary accepts `--max-gates <n>` to restrict the benchmark set
+//! for quick runs (the full suite up to s38584 takes minutes on a laptop
+//! core, matching the paper's Table II magnitudes) and `--seed <n>` for
+//! reproducible randomness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sttlock_benchgen::{profiles, Profile};
+use sttlock_netlist::Netlist;
+
+/// Shared command-line options of the reproduction binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessArgs {
+    /// Skip benchmarks above this gate count.
+    pub max_gates: usize,
+    /// Seed for circuit generation and selection.
+    pub seed: u64,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs { max_gates: usize::MAX, seed: 42 }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `--max-gates <n>` and `--seed <n>` from the process args.
+    ///
+    /// Unknown flags abort with a usage message, so typos do not silently
+    /// run the full suite.
+    pub fn parse() -> Self {
+        let mut out = HarnessArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            match flag.as_str() {
+                "--max-gates" => {
+                    out.max_gates = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--max-gates needs an integer"));
+                }
+                "--seed" => {
+                    out.seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs an integer"));
+                }
+                "--help" | "-h" => usage("") ,
+                other => usage(&format!("unknown flag `{other}`")),
+            }
+        }
+        out
+    }
+
+    /// The benchmark profiles selected by `--max-gates`.
+    pub fn profiles(&self) -> Vec<Profile> {
+        profiles::up_to(self.max_gates)
+    }
+
+    /// Generates the circuit for a profile with this run's seed.
+    pub fn generate(&self, profile: &Profile) -> Netlist {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ fxhash(profile.name));
+        profile.generate(&mut rng)
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}");
+    }
+    eprintln!("usage: <bin> [--max-gates N] [--seed N]");
+    std::process::exit(if problem.is_empty() { 0 } else { 2 });
+}
+
+/// Tiny deterministic string hash so each benchmark gets its own stream
+/// from one user-facing seed.
+fn fxhash(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args_cover_all_profiles() {
+        let a = HarnessArgs::default();
+        assert_eq!(a.profiles().len(), 12);
+    }
+
+    #[test]
+    fn max_gates_filters() {
+        let a = HarnessArgs { max_gates: 700, seed: 1 };
+        assert!(a.profiles().iter().all(|p| p.gates <= 700));
+    }
+
+    #[test]
+    fn per_profile_seeds_differ() {
+        assert_ne!(fxhash("s641"), fxhash("s820"));
+    }
+
+    #[test]
+    fn generate_matches_profile() {
+        let a = HarnessArgs { max_gates: 300, seed: 9 };
+        let p = a.profiles()[0];
+        let n = a.generate(&p);
+        assert_eq!(n.gate_count(), p.gates);
+    }
+}

@@ -1,0 +1,142 @@
+//! The LUT bitstream key-file format.
+//!
+//! The design house keeps the configuration of every STT LUT in a small
+//! text file, one line per LUT:
+//!
+//! ```text
+//! # sttlock bitstream v1
+//! g42 2 0x8
+//! g97 3 0x6a
+//! ```
+//!
+//! Columns: node name, fan-in, truth-table mask (hex, row 0 = LSB).
+//! Node *names* (not arena indices) key the entries, so a bitstream
+//! survives netlist round-trips through `.bench`/Verilog.
+
+use std::fmt::Write as _;
+
+use sttlock_netlist::{Netlist, NodeId, TruthTable};
+
+use crate::CliError;
+
+/// Serializes a bitstream against the netlist that produced it.
+pub fn write(netlist: &Netlist, bitstream: &[(NodeId, TruthTable)]) -> String {
+    let mut out = String::from("# sttlock bitstream v1\n");
+    for (id, table) in bitstream {
+        let _ = writeln!(
+            out,
+            "{} {} 0x{:x}",
+            netlist.node_name(*id),
+            table.inputs(),
+            table.bits()
+        );
+    }
+    out
+}
+
+/// Parses a bitstream and resolves the names against `netlist`.
+///
+/// # Errors
+///
+/// Returns [`CliError::Bitstream`] for malformed lines, unknown node
+/// names, non-LUT targets, or fan-in mismatches.
+pub fn parse(netlist: &Netlist, text: &str) -> Result<Vec<(NodeId, TruthTable)>, CliError> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| CliError::Bitstream { line: lineno + 1, message };
+        let mut parts = line.split_whitespace();
+        let (Some(name), Some(fanin), Some(mask), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(err(format!("expected `<name> <fanin> 0x<mask>`, got `{line}`")));
+        };
+        let id = netlist
+            .find(name)
+            .ok_or_else(|| err(format!("no node named `{name}` in the netlist")))?;
+        let node = netlist.node(id);
+        if !node.is_lut() {
+            return Err(err(format!("node `{name}` is not a LUT")));
+        }
+        let fanin: usize = fanin
+            .parse()
+            .map_err(|_| err(format!("bad fan-in `{fanin}`")))?;
+        if node.fanin().len() != fanin {
+            return Err(err(format!(
+                "LUT `{name}` has fan-in {}, bitstream says {fanin}",
+                node.fanin().len()
+            )));
+        }
+        let hex = mask
+            .strip_prefix("0x")
+            .or_else(|| mask.strip_prefix("0X"))
+            .ok_or_else(|| err(format!("mask `{mask}` must be 0x-hex")))?;
+        let bits = u64::from_str_radix(hex, 16).map_err(|e| err(format!("bad mask: {e}")))?;
+        if fanin > 6 {
+            return Err(err(format!("fan-in {fanin} exceeds the 6-input limit")));
+        }
+        out.push((id, TruthTable::new(fanin, bits)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sttlock_netlist::{GateKind, NetlistBuilder};
+
+    fn hybrid() -> (Netlist, Vec<(NodeId, TruthTable)>) {
+        let mut b = NetlistBuilder::new("m");
+        b.input("a");
+        b.input("c");
+        b.gate("g1", GateKind::Nand, &["a", "c"]);
+        b.gate("g2", GateKind::Xor, &["g1", "a"]);
+        b.output("g2");
+        let mut n = b.finish().unwrap();
+        let mut bits = Vec::new();
+        for name in ["g1", "g2"] {
+            let id = n.find(name).unwrap();
+            let t = n.replace_gate_with_lut(id).unwrap();
+            bits.push((id, t));
+        }
+        (n, bits)
+    }
+
+    #[test]
+    fn round_trips() {
+        let (n, bits) = hybrid();
+        let text = write(&n, &bits);
+        let back = parse(&n, &text).unwrap();
+        assert_eq!(back, bits);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let (n, _) = hybrid();
+        let text = "# header\n\ng1 2 0x7\n";
+        let parsed = parse(&n, text).unwrap();
+        assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn unknown_name_is_rejected() {
+        let (n, _) = hybrid();
+        let e = parse(&n, "ghost 2 0x7\n").unwrap_err();
+        assert!(e.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn fanin_mismatch_is_rejected() {
+        let (n, _) = hybrid();
+        assert!(parse(&n, "g1 3 0x7\n").is_err());
+    }
+
+    #[test]
+    fn non_lut_target_is_rejected() {
+        let (n, _) = hybrid();
+        assert!(parse(&n, "a 2 0x7\n").is_err());
+    }
+}

@@ -1,0 +1,245 @@
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sttlock_attack::estimate::security_estimate;
+use sttlock_netlist::Netlist;
+use sttlock_power::{analyze_area, analyze_power, OverheadReport};
+use sttlock_sim::activity::estimate_activity;
+use sttlock_sim::SimError;
+use sttlock_sta::{analyze, performance_degradation_pct};
+use sttlock_techlib::Library;
+
+use crate::replace;
+use crate::report::FlowReport;
+use crate::select::{self, SelectionAlgorithm, SelectionConfig};
+
+/// Errors surfaced by the flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// The input netlist could not be simulated for activity estimation
+    /// (e.g. it already contains redacted LUTs).
+    Simulation(SimError),
+    /// The selection produced no replaceable gate — the circuit is too
+    /// small or offers no usable I/O path.
+    NothingSelected,
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Simulation(e) => write!(f, "activity estimation failed: {e}"),
+            FlowError::NothingSelected => {
+                write!(f, "selection produced no replaceable gate")
+            }
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Simulation(e) => Some(e),
+            FlowError::NothingSelected => None,
+        }
+    }
+}
+
+impl From<SimError> for FlowError {
+    fn from(e: SimError) -> Self {
+        FlowError::Simulation(e)
+    }
+}
+
+/// Result of a full security-driven flow run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowOutcome {
+    /// The programmed hybrid netlist (design-house view).
+    pub hybrid: Netlist,
+    /// The LUT programming bitstream — keep it away from the foundry.
+    pub bitstream: Vec<(sttlock_netlist::NodeId, sttlock_netlist::TruthTable)>,
+    /// Overheads, security estimates and selection CPU time.
+    pub report: FlowReport,
+    /// The selection that was applied (for diagnostics/ablation).
+    pub selection: select::Selection,
+}
+
+impl FlowOutcome {
+    /// The foundry view: the hybrid netlist with every LUT redacted.
+    pub fn foundry_view(&self) -> Netlist {
+        self.hybrid.redact().0
+    }
+}
+
+/// The security-driven hybrid STT-CMOS design flow (Figure 2).
+///
+/// Owns the technology library and the selection tunables; [`run`](Flow::run)
+/// executes selection → replacement → analysis for one algorithm choice.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    lib: Library,
+    /// Selection tunables (public: ablations tweak them directly).
+    pub selection: SelectionConfig,
+    /// Random-pattern cycles for activity estimation.
+    pub activity_cycles: usize,
+}
+
+impl Flow {
+    /// A flow over the given library with the paper-default settings.
+    pub fn new(lib: Library) -> Self {
+        Flow {
+            lib,
+            selection: SelectionConfig::default(),
+            activity_cycles: 256,
+        }
+    }
+
+    /// The library in use.
+    pub fn library(&self) -> &Library {
+        &self.lib
+    }
+
+    /// Runs the flow on `netlist` with the chosen algorithm. The seed
+    /// fixes the random selection, making runs reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Simulation`] if the netlist cannot be
+    /// simulated and [`FlowError::NothingSelected`] if no gate could be
+    /// selected at all.
+    pub fn run(
+        &self,
+        netlist: &Netlist,
+        algorithm: SelectionAlgorithm,
+        seed: u64,
+    ) -> Result<FlowOutcome, FlowError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Baseline analyses on the pure-CMOS netlist.
+        let base_timing = analyze(netlist, &self.lib);
+        let mut activity_rng = StdRng::seed_from_u64(seed ^ 0x5EED_AC71);
+        let activity = estimate_activity(netlist, self.activity_cycles, &mut activity_rng)?;
+        let base_power = analyze_power(netlist, &self.lib, &activity);
+        let base_area = analyze_area(netlist, &self.lib);
+
+        // Selection (timed: this is the Table II measurement).
+        let t0 = Instant::now();
+        let selection = select::run(netlist, &self.lib, algorithm, &self.selection, &mut rng);
+        let selection_time = t0.elapsed();
+        if selection.gates.is_empty() {
+            return Err(FlowError::NothingSelected);
+        }
+
+        // Replacement and hybrid analyses. The activity report indexes by
+        // arena position, which replacement preserves; LUT power ignores
+        // activity anyway (it is content- and activity-independent).
+        let replacement = replace::apply(netlist, &selection);
+        let hybrid_timing = analyze(&replacement.hybrid, &self.lib);
+        let hybrid_power = analyze_power(&replacement.hybrid, &self.lib, &activity);
+        let hybrid_area = analyze_area(&replacement.hybrid, &self.lib);
+
+        let overhead = OverheadReport::between(&base_power, base_area, &hybrid_power, hybrid_area);
+        let security = security_estimate(&replacement.hybrid);
+
+        let report = FlowReport {
+            performance_degradation_pct: performance_degradation_pct(&base_timing, &hybrid_timing),
+            power_overhead_pct: overhead.power_pct,
+            leakage_overhead_pct: overhead.leakage_pct,
+            area_overhead_pct: overhead.area_pct,
+            stt_count: replacement.hybrid.lut_count(),
+            selection_time,
+            security,
+        };
+        Ok(FlowOutcome {
+            hybrid: replacement.hybrid,
+            bitstream: replacement.bitstream,
+            report,
+            selection,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use sttlock_benchgen::Profile;
+    use sttlock_sim::Simulator;
+
+    fn circuit() -> Netlist {
+        Profile::custom("flow", 250, 10, 8, 6).generate(&mut StdRng::seed_from_u64(21))
+    }
+
+    #[test]
+    fn flow_produces_functional_hybrid() {
+        let n = circuit();
+        let flow = Flow::new(Library::predictive_90nm());
+        let out = flow
+            .run(&n, SelectionAlgorithm::Independent, 1)
+            .expect("flow succeeds");
+        assert_eq!(out.report.stt_count, 5);
+        // Functional equivalence of the programmed hybrid.
+        let mut sa = Simulator::new(&n).unwrap();
+        let mut sb = Simulator::new(&out.hybrid).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..32 {
+            let pat: Vec<u64> = (0..n.inputs().len()).map(|_| rng.gen()).collect();
+            assert_eq!(sa.step(&pat).unwrap(), sb.step(&pat).unwrap());
+        }
+        // The foundry view hides every configuration.
+        let foundry = out.foundry_view();
+        assert_eq!(foundry.lut_count(), out.report.stt_count);
+        assert!(foundry
+            .node_ids()
+            .all(|id| foundry.lut_config(id).is_none()));
+    }
+
+    #[test]
+    fn all_algorithms_run_and_order_security() {
+        let n = circuit();
+        let flow = Flow::new(Library::predictive_90nm());
+        let indep = flow.run(&n, SelectionAlgorithm::Independent, 3).unwrap();
+        let dep = flow.run(&n, SelectionAlgorithm::Dependent, 3).unwrap();
+        let para = flow.run(&n, SelectionAlgorithm::ParametricAware, 3).unwrap();
+        // Figure 3's ordering: dependent/parametric dwarf independent.
+        assert!(dep.report.security.n_dep.log10() > indep.report.security.n_indep.log10());
+        assert!(para.report.security.n_bf.log10() > indep.report.security.n_indep.log10());
+    }
+
+    #[test]
+    fn parametric_timing_is_no_worse_than_dependent() {
+        let n = circuit();
+        let flow = Flow::new(Library::predictive_90nm());
+        let dep = flow.run(&n, SelectionAlgorithm::Dependent, 5).unwrap();
+        let para = flow.run(&n, SelectionAlgorithm::ParametricAware, 5).unwrap();
+        assert!(
+            para.report.performance_degradation_pct
+                <= dep.report.performance_degradation_pct + 1e-9
+        );
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let n = circuit();
+        let flow = Flow::new(Library::predictive_90nm());
+        let a = flow.run(&n, SelectionAlgorithm::ParametricAware, 7).unwrap();
+        let b = flow.run(&n, SelectionAlgorithm::ParametricAware, 7).unwrap();
+        assert_eq!(a.hybrid, b.hybrid);
+        assert_eq!(a.bitstream, b.bitstream);
+    }
+
+    #[test]
+    fn overheads_are_positive_for_power_and_area() {
+        let n = circuit();
+        let flow = Flow::new(Library::predictive_90nm());
+        for alg in SelectionAlgorithm::ALL {
+            let out = flow.run(&n, alg, 11).unwrap();
+            assert!(out.report.power_overhead_pct > 0.0, "{alg}");
+            assert!(out.report.area_overhead_pct > 0.0, "{alg}");
+        }
+    }
+}

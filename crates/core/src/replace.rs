@@ -1,0 +1,121 @@
+//! CMOS-gate → STT-LUT replacement.
+//!
+//! Turns a [`Selection`] into a *hybrid
+//! netlist*: each selected gate becomes a programmed LUT with the same
+//! wiring and function. The programming bitstream — the secret that
+//! never reaches the foundry — is returned alongside; callers ship
+//! `hybrid.redact()` to manufacturing and keep the bitstream for
+//! post-fabrication configuration (Figure 2's flow).
+
+use sttlock_netlist::{Netlist, NodeId, TruthTable};
+
+use crate::select::Selection;
+
+/// Outcome of a replacement pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replacement {
+    /// The programmed hybrid netlist (design-house view).
+    pub hybrid: Netlist,
+    /// Per-LUT configuration — the design house's secret.
+    pub bitstream: Vec<(NodeId, TruthTable)>,
+    /// Selected gates skipped because their fan-in exceeds the LUT
+    /// capacity (never happens for standard-cell mapped netlists, which
+    /// stay at fan-in ≤ 4).
+    pub skipped: Vec<NodeId>,
+}
+
+/// Applies a selection to a netlist.
+pub fn apply(netlist: &Netlist, selection: &Selection) -> Replacement {
+    let mut hybrid = netlist.clone();
+    let mut bitstream = Vec::with_capacity(selection.gates.len());
+    let mut skipped = Vec::new();
+    for &id in &selection.gates {
+        match hybrid.replace_gate_with_lut(id) {
+            Ok(table) => bitstream.push((id, table)),
+            Err(_) => skipped.push(id),
+        }
+    }
+    Replacement { hybrid, bitstream, skipped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::SelectionAlgorithm;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sttlock_benchgen::Profile;
+    use sttlock_sim::Simulator;
+
+    fn selection_of(n: &Netlist, names: &[&str]) -> Selection {
+        Selection {
+            algorithm: SelectionAlgorithm::Independent,
+            gates: names.iter().map(|s| n.find(s).unwrap()).collect(),
+            usl_closure: Vec::new(),
+            paths_considered: 0,
+        }
+    }
+
+    #[test]
+    fn hybrid_is_functionally_identical() {
+        let profile = Profile::custom("r", 120, 5, 6, 5);
+        let n = profile.generate(&mut StdRng::seed_from_u64(3));
+        // Replace a third of the gates.
+        let gates: Vec<NodeId> = n
+            .iter()
+            .filter(|(_, node)| node.gate_kind().is_some() && node.fanin().len() <= 6)
+            .map(|(id, _)| id)
+            .step_by(3)
+            .collect();
+        let sel = Selection {
+            algorithm: SelectionAlgorithm::Independent,
+            gates,
+            usl_closure: Vec::new(),
+            paths_considered: 0,
+        };
+        let rep = apply(&n, &sel);
+        assert!(rep.skipped.is_empty());
+        assert_eq!(rep.hybrid.lut_count(), rep.bitstream.len());
+
+        let mut sim_a = Simulator::new(&n).unwrap();
+        let mut sim_b = Simulator::new(&rep.hybrid).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..64 {
+            let pat: Vec<u64> = (0..n.inputs().len()).map(|_| rng.gen()).collect();
+            assert_eq!(sim_a.step(&pat).unwrap(), sim_b.step(&pat).unwrap());
+        }
+    }
+
+    #[test]
+    fn redact_program_round_trip_through_replacement() {
+        let profile = Profile::custom("r", 60, 3, 4, 3);
+        let n = profile.generate(&mut StdRng::seed_from_u64(8));
+        let first_gate = n
+            .iter()
+            .find(|(_, node)| node.gate_kind().is_some())
+            .map(|(id, _)| n.node_name(id).to_owned())
+            .unwrap();
+        let sel = selection_of(&n, &[&first_gate]);
+        let rep = apply(&n, &sel);
+        let (mut foundry, secret) = rep.hybrid.redact();
+        assert_eq!(secret, rep.bitstream);
+        assert_eq!(foundry.lut_config(rep.bitstream[0].0), None);
+        foundry.program(&secret);
+        assert_eq!(foundry, rep.hybrid);
+    }
+
+    #[test]
+    fn empty_selection_is_identity() {
+        let profile = Profile::custom("r", 30, 2, 3, 2);
+        let n = profile.generate(&mut StdRng::seed_from_u64(9));
+        let sel = Selection {
+            algorithm: SelectionAlgorithm::Independent,
+            gates: Vec::new(),
+            usl_closure: Vec::new(),
+            paths_considered: 0,
+        };
+        let rep = apply(&n, &sel);
+        assert_eq!(rep.hybrid, n);
+        assert!(rep.bitstream.is_empty());
+    }
+}

@@ -1,0 +1,347 @@
+//! ISCAS '89 `.bench` format reader and writer.
+//!
+//! The `.bench` dialect accepted here is the one used by the ISCAS '85/'89
+//! benchmark suites and most logic-locking research artifacts:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G10 = NAND(G0, G1)
+//! G11 = DFF(G10)
+//! G17 = NOT(G11)
+//! ```
+//!
+//! In addition, this writer/reader pair supports reconfigurable LUTs so
+//! hybrid netlists round-trip:
+//!
+//! ```text
+//! G10 = LUT 0x8 (G0, G1)   # programmed LUT (truth table in hex)
+//! G12 = LUT ? (G2, G3)     # redacted LUT (foundry view)
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::error::NetlistError;
+use crate::netlist::{Netlist, NetlistBuilder};
+use crate::node::{GateKind, Node};
+use crate::truth::TruthTable;
+
+/// Parses a `.bench` netlist from text.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines and the usual
+/// builder errors (duplicate/unresolved names, bad arity, cycles) for
+/// structurally invalid netlists.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), sttlock_netlist::NetlistError> {
+/// let src = "
+/// INPUT(a)
+/// INPUT(b)
+/// OUTPUT(y)
+/// t = NAND(a, b)
+/// y = DFF(t)
+/// ";
+/// let n = sttlock_netlist::bench_format::parse(src, "toy")?;
+/// assert_eq!(n.gate_count(), 1);
+/// assert_eq!(n.dff_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(text: &str, name: &str) -> Result<Netlist, NetlistError> {
+    let mut builder = NetlistBuilder::new(name);
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        parse_line(&mut builder, line, lineno + 1)?;
+    }
+    builder.finish()
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_line(builder: &mut NetlistBuilder, line: &str, lineno: usize) -> Result<(), NetlistError> {
+    let err = |message: String| NetlistError::Parse { line: lineno, message };
+
+    if let Some(rest) = strip_keyword(line, "INPUT") {
+        let name = parse_parenthesized(rest).ok_or_else(|| err("expected INPUT(name)".into()))?;
+        builder.input(name);
+        return Ok(());
+    }
+    if let Some(rest) = strip_keyword(line, "OUTPUT") {
+        let name = parse_parenthesized(rest).ok_or_else(|| err("expected OUTPUT(name)".into()))?;
+        builder.output(name);
+        return Ok(());
+    }
+
+    // `name = KEYWORD(args)` or `name = LUT mask (args)`
+    let (lhs, rhs) = line
+        .split_once('=')
+        .ok_or_else(|| err(format!("unrecognized statement `{line}`")))?;
+    let lhs = lhs.trim();
+    let rhs = rhs.trim();
+    if lhs.is_empty() {
+        return Err(err("missing signal name before `=`".into()));
+    }
+
+    if let Some(rest) = rhs.strip_prefix("LUT") {
+        let rest = rest.trim_start();
+        let open = rest
+            .find('(')
+            .ok_or_else(|| err("expected LUT <mask|?> (args)".into()))?;
+        let mask_str = rest[..open].trim();
+        let args = parse_parenthesized(&rest[open..])
+            .ok_or_else(|| err("malformed LUT argument list".into()))?;
+        let fanin: Vec<&str> = split_args(args);
+        if fanin.is_empty() {
+            return Err(err("LUT needs at least one input".into()));
+        }
+        let config = if mask_str == "?" {
+            None
+        } else {
+            let hex = mask_str
+                .strip_prefix("0x")
+                .or_else(|| mask_str.strip_prefix("0X"))
+                .ok_or_else(|| err(format!("LUT mask `{mask_str}` must be 0x-hex or `?`")))?;
+            let bits = u64::from_str_radix(hex, 16)
+                .map_err(|e| err(format!("bad LUT mask `{mask_str}`: {e}")))?;
+            if fanin.len() > crate::truth::MAX_LUT_INPUTS {
+                return Err(NetlistError::LutTooWide {
+                    name: lhs.to_owned(),
+                    fanin: fanin.len(),
+                });
+            }
+            Some(TruthTable::new(fanin.len(), bits))
+        };
+        builder.lut(lhs, &fanin, config);
+        return Ok(());
+    }
+
+    let open = rhs
+        .find('(')
+        .ok_or_else(|| err(format!("expected gate call on right-hand side, got `{rhs}`")))?;
+    let keyword = rhs[..open].trim();
+    let args = parse_parenthesized(&rhs[open..])
+        .ok_or_else(|| err("malformed argument list".into()))?;
+    let fanin: Vec<&str> = split_args(args);
+
+    if keyword.eq_ignore_ascii_case("CONST0") || keyword.eq_ignore_ascii_case("CONST1") {
+        if !fanin.is_empty() {
+            return Err(err("constant drivers take no inputs".into()));
+        }
+        builder.constant(lhs, keyword.ends_with('1'));
+        return Ok(());
+    }
+    if keyword.eq_ignore_ascii_case("DFF") {
+        if fanin.len() != 1 {
+            return Err(err(format!("DFF takes exactly one input, got {}", fanin.len())));
+        }
+        builder.dff(lhs, fanin[0]);
+        return Ok(());
+    }
+    let kind = GateKind::from_bench_keyword(keyword)
+        .ok_or_else(|| err(format!("unknown gate keyword `{keyword}`")))?;
+    builder.gate(lhs, kind, &fanin);
+    Ok(())
+}
+
+fn strip_keyword<'a>(line: &'a str, kw: &str) -> Option<&'a str> {
+    let trimmed = line.trim_start();
+    if trimmed.len() >= kw.len() && trimmed[..kw.len()].eq_ignore_ascii_case(kw) {
+        let rest = &trimmed[kw.len()..];
+        if rest.trim_start().starts_with('(') {
+            return Some(rest);
+        }
+    }
+    None
+}
+
+fn parse_parenthesized(s: &str) -> Option<&str> {
+    let s = s.trim();
+    let inner = s.strip_prefix('(')?.strip_suffix(')')?;
+    Some(inner.trim())
+}
+
+fn split_args(args: &str) -> Vec<&str> {
+    args.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Serializes a netlist to `.bench` text.
+///
+/// Programmed LUTs are written as `LUT 0x<mask>`; redacted LUTs as
+/// `LUT ?`. The output round-trips through [`parse`].
+pub fn write(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", netlist.name());
+    let stats = netlist.stats();
+    let _ = writeln!(
+        out,
+        "# {} inputs, {} outputs, {} gates, {} DFFs, {} LUTs",
+        stats.inputs, stats.outputs, stats.gates, stats.dffs, stats.luts
+    );
+    for &id in netlist.inputs() {
+        let _ = writeln!(out, "INPUT({})", netlist.node_name(id));
+    }
+    for &id in netlist.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", netlist.node_name(id));
+    }
+    let _ = writeln!(out);
+    for (id, node) in netlist.iter() {
+        let name = netlist.node_name(id);
+        match node {
+            Node::Input => {}
+            Node::Const(v) => {
+                let kw = if *v { "CONST1" } else { "CONST0" };
+                let _ = writeln!(out, "{name} = {kw}()");
+            }
+            Node::Gate { kind, fanin } => {
+                let args = join_names(netlist, fanin);
+                let _ = writeln!(out, "{name} = {}({args})", kind.bench_keyword());
+            }
+            Node::Dff { d } => {
+                let _ = writeln!(out, "{name} = DFF({})", netlist.node_name(*d));
+            }
+            Node::Lut { fanin, config } => {
+                let args = join_names(netlist, fanin);
+                match config {
+                    Some(t) => {
+                        let _ = writeln!(out, "{name} = LUT 0x{:x} ({args})", t.bits());
+                    }
+                    None => {
+                        let _ = writeln!(out, "{name} = LUT ? ({args})");
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn join_names(netlist: &Netlist, ids: &[crate::NodeId]) -> String {
+    ids.iter()
+        .map(|&f| netlist.node_name(f))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::GateKind;
+
+    const SAMPLE: &str = "
+# tiny sequential sample
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+
+t1 = NAND(a, b)   # a gate
+q  = DFF(t1)
+t2 = XOR(q, a)
+y  = NOT(t2)
+";
+
+    #[test]
+    fn parses_sample() {
+        let n = parse(SAMPLE, "sample").unwrap();
+        assert_eq!(n.inputs().len(), 2);
+        assert_eq!(n.outputs().len(), 1);
+        assert_eq!(n.gate_count(), 3);
+        assert_eq!(n.dff_count(), 1);
+        assert_eq!(
+            n.node(n.find("t1").unwrap()).gate_kind(),
+            Some(GateKind::Nand)
+        );
+    }
+
+    #[test]
+    fn round_trips() {
+        let n = parse(SAMPLE, "sample").unwrap();
+        let text = write(&n);
+        let n2 = parse(&text, "sample").unwrap();
+        assert_eq!(n.gate_count(), n2.gate_count());
+        assert_eq!(n.dff_count(), n2.dff_count());
+        assert_eq!(n.inputs().len(), n2.inputs().len());
+        assert_eq!(n.outputs().len(), n2.outputs().len());
+        // names survive
+        assert!(n2.find("t1").is_some());
+    }
+
+    #[test]
+    fn round_trips_luts_programmed_and_redacted() {
+        let mut n = parse(SAMPLE, "sample").unwrap();
+        let t1 = n.find("t1").unwrap();
+        n.replace_gate_with_lut(t1).unwrap();
+        let text = write(&n);
+        let n2 = parse(&text, "sample").unwrap();
+        assert_eq!(n2.lut_count(), 1);
+        assert_eq!(
+            n2.lut_config(n2.find("t1").unwrap()),
+            Some(TruthTable::from_gate(GateKind::Nand, 2))
+        );
+
+        let (stripped, _) = n.redact();
+        let text = write(&stripped);
+        assert!(text.contains("LUT ?"));
+        let n3 = parse(&text, "sample").unwrap();
+        assert_eq!(n3.lut_config(n3.find("t1").unwrap()), None);
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let src = "input(x)\noutput(y)\ny = nand(x, x)\n";
+        let n = parse(src, "ci").unwrap();
+        assert_eq!(n.gate_count(), 1);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let src = "INPUT(a)\nbogus line here\n";
+        match parse(src, "bad") {
+            Err(NetlistError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let src = "INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n";
+        assert!(matches!(
+            parse(src, "bad"),
+            Err(NetlistError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_dff_with_two_inputs() {
+        let src = "INPUT(a)\nINPUT(b)\nq = DFF(a, b)\nOUTPUT(q)\n";
+        assert!(matches!(parse(src, "bad"), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_lut_mask() {
+        let src = "INPUT(a)\ny = LUT 12 (a, a)\nOUTPUT(y)\n";
+        assert!(matches!(parse(src, "bad"), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn whitespace_and_blank_lines_ignored() {
+        let src = "\n\n  INPUT(a)  \n\nOUTPUT(b)\n  b = BUFF( a )\n";
+        let n = parse(src, "ws").unwrap();
+        assert_eq!(n.gate_count(), 1);
+    }
+}

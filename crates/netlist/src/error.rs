@@ -1,0 +1,103 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating or parsing netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A signal name was defined twice.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// A referenced signal was never defined.
+    UnresolvedName {
+        /// The missing name.
+        name: String,
+        /// The node whose fan-in references it.
+        referenced_by: String,
+    },
+    /// A gate was declared with an illegal number of inputs.
+    BadArity {
+        /// Node name.
+        name: String,
+        /// Gate keyword.
+        kind: String,
+        /// Declared fan-in.
+        fanin: usize,
+    },
+    /// The combinational core contains a cycle (a loop not broken by a
+    /// flip-flop).
+    CombinationalCycle {
+        /// Name of a node on the cycle.
+        on: String,
+    },
+    /// A primary output references an undefined signal.
+    UnknownOutput {
+        /// The output name.
+        name: String,
+    },
+    /// A parse error in `.bench` or Verilog input.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A LUT fan-in exceeded the supported maximum.
+    LutTooWide {
+        /// Node name.
+        name: String,
+        /// Declared fan-in.
+        fanin: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName { name } => {
+                write!(f, "signal `{name}` is defined more than once")
+            }
+            NetlistError::UnresolvedName { name, referenced_by } => {
+                write!(f, "signal `{name}` referenced by `{referenced_by}` is never defined")
+            }
+            NetlistError::BadArity { name, kind, fanin } => {
+                write!(f, "gate `{name}` of kind {kind} has illegal fan-in {fanin}")
+            }
+            NetlistError::CombinationalCycle { on } => {
+                write!(f, "combinational cycle through `{on}` (no flip-flop on the loop)")
+            }
+            NetlistError::UnknownOutput { name } => {
+                write!(f, "primary output `{name}` references an undefined signal")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            NetlistError::LutTooWide { name, fanin } => {
+                write!(f, "LUT `{name}` has fan-in {fanin}, above the supported maximum of 6")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = NetlistError::DuplicateName { name: "g1".into() };
+        assert_eq!(e.to_string(), "signal `g1` is defined more than once");
+        let e = NetlistError::Parse { line: 3, message: "bad token".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<NetlistError>();
+    }
+}

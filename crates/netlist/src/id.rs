@@ -1,0 +1,54 @@
+use std::fmt;
+
+/// Index of a node (primary input, gate, flip-flop, LUT or constant) inside
+/// a [`Netlist`](crate::Netlist) arena.
+///
+/// A `NodeId` is only meaningful for the netlist that issued it. Every node
+/// drives exactly one net, so a `NodeId` doubles as the identifier of the
+/// net driven by that node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Returns the raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a raw arena index.
+    ///
+    /// Prefer ids handed out by [`Netlist`](crate::Netlist) methods; this is
+    /// exposed for serialization round-trips and dense side tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("netlist arena index overflows u32"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "n42");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+    }
+}

@@ -1,0 +1,233 @@
+use std::fmt;
+
+use crate::id::NodeId;
+use crate::truth::TruthTable;
+
+/// The combinational gate kinds of the standard-cell family.
+///
+/// These are the cell functions that appear in ISCAS '89 netlists and in
+/// the paper's Figure 1 technology comparison. Multi-input kinds accept any
+/// fan-in ≥ 2; [`Buf`](GateKind::Buf) and [`Not`](GateKind::Not) are unary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Non-inverting buffer (`BUFF` in `.bench`).
+    Buf,
+    /// Inverter.
+    Not,
+    /// N-input AND.
+    And,
+    /// N-input NAND.
+    Nand,
+    /// N-input OR.
+    Or,
+    /// N-input NOR.
+    Nor,
+    /// N-input parity (XOR).
+    Xor,
+    /// N-input inverted parity (XNOR).
+    Xnor,
+}
+
+impl GateKind {
+    /// All gate kinds, unary first.
+    pub const ALL: [GateKind; 8] = [
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+
+    /// Whether this kind takes exactly one input.
+    #[inline]
+    pub fn is_unary(self) -> bool {
+        matches!(self, GateKind::Buf | GateKind::Not)
+    }
+
+    /// Whether this kind produces an inverted function (useful for pairing
+    /// cells with their complements in the technology library).
+    #[inline]
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            GateKind::Not | GateKind::Nand | GateKind::Nor | GateKind::Xnor
+        )
+    }
+
+    /// Whether `fanin` is a legal arity for this kind.
+    #[inline]
+    pub fn arity_ok(self, fanin: usize) -> bool {
+        if self.is_unary() {
+            fanin == 1
+        } else {
+            fanin >= 2
+        }
+    }
+
+    /// The `.bench` keyword for this kind.
+    pub fn bench_keyword(self) -> &'static str {
+        match self {
+            GateKind::Buf => "BUFF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+        }
+    }
+
+    /// Parses a `.bench` keyword (case-insensitive). Returns `None` for
+    /// unknown keywords (including `DFF`, which is not a gate).
+    pub fn from_bench_keyword(word: &str) -> Option<GateKind> {
+        match word.to_ascii_uppercase().as_str() {
+            "BUFF" | "BUF" => Some(GateKind::Buf),
+            "NOT" | "INV" => Some(GateKind::Not),
+            "AND" => Some(GateKind::And),
+            "NAND" => Some(GateKind::Nand),
+            "OR" => Some(GateKind::Or),
+            "NOR" => Some(GateKind::Nor),
+            "XOR" => Some(GateKind::Xor),
+            "XNOR" => Some(GateKind::Xnor),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.bench_keyword())
+    }
+}
+
+/// A node of the netlist arena. Every node drives exactly one net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A primary input of the design.
+    Input,
+    /// A constant driver (tie-high / tie-low cell).
+    Const(bool),
+    /// A combinational standard cell.
+    Gate {
+        /// Cell function.
+        kind: GateKind,
+        /// Driving nodes of the cell inputs, in pin order.
+        fanin: Vec<NodeId>,
+    },
+    /// A D flip-flop. Its output is the registered value of `d`.
+    Dff {
+        /// Driver of the D pin.
+        d: NodeId,
+    },
+    /// A reconfigurable STT-based LUT — a "missing gate".
+    ///
+    /// `config` is `Some` in the programmed (design-house) view and `None`
+    /// in the redacted view an untrusted foundry sees.
+    Lut {
+        /// Driving nodes of the LUT inputs, in pin order.
+        fanin: Vec<NodeId>,
+        /// The programmed truth table, if visible.
+        config: Option<TruthTable>,
+    },
+}
+
+impl Node {
+    /// The fan-in nodes, in pin order (empty for inputs and constants).
+    pub fn fanin(&self) -> &[NodeId] {
+        match self {
+            Node::Input | Node::Const(_) => &[],
+            Node::Gate { fanin, .. } | Node::Lut { fanin, .. } => fanin,
+            Node::Dff { d } => std::slice::from_ref(d),
+        }
+    }
+
+    /// Whether the node is a combinational element (gate or LUT).
+    #[inline]
+    pub fn is_combinational(&self) -> bool {
+        matches!(self, Node::Gate { .. } | Node::Lut { .. })
+    }
+
+    /// Whether the node is a D flip-flop.
+    #[inline]
+    pub fn is_dff(&self) -> bool {
+        matches!(self, Node::Dff { .. })
+    }
+
+    /// Whether the node is a reconfigurable LUT.
+    #[inline]
+    pub fn is_lut(&self) -> bool {
+        matches!(self, Node::Lut { .. })
+    }
+
+    /// Whether the node is a primary input.
+    #[inline]
+    pub fn is_input(&self) -> bool {
+        matches!(self, Node::Input)
+    }
+
+    /// The gate kind, if the node is a standard cell.
+    pub fn gate_kind(&self) -> Option<GateKind> {
+        match self {
+            Node::Gate { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_rules() {
+        assert!(GateKind::Not.arity_ok(1));
+        assert!(!GateKind::Not.arity_ok(2));
+        assert!(GateKind::Nand.arity_ok(2));
+        assert!(GateKind::Nand.arity_ok(4));
+        assert!(!GateKind::Nand.arity_ok(1));
+    }
+
+    #[test]
+    fn bench_keyword_round_trip() {
+        for kind in GateKind::ALL {
+            assert_eq!(GateKind::from_bench_keyword(kind.bench_keyword()), Some(kind));
+        }
+        assert_eq!(GateKind::from_bench_keyword("DFF"), None);
+        assert_eq!(GateKind::from_bench_keyword("nand"), Some(GateKind::Nand));
+    }
+
+    #[test]
+    fn fanin_access() {
+        let a = NodeId::from_index(0);
+        let b = NodeId::from_index(1);
+        let gate = Node::Gate {
+            kind: GateKind::And,
+            fanin: vec![a, b],
+        };
+        assert_eq!(gate.fanin(), &[a, b]);
+        let ff = Node::Dff { d: a };
+        assert_eq!(ff.fanin(), &[a]);
+        assert!(Node::Input.fanin().is_empty());
+        assert!(Node::Const(true).fanin().is_empty());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Node::Input.is_input());
+        assert!(Node::Dff { d: NodeId::from_index(0) }.is_dff());
+        let lut = Node::Lut { fanin: vec![], config: None };
+        assert!(lut.is_lut());
+        assert!(lut.is_combinational());
+    }
+
+    #[test]
+    fn inverting_kinds() {
+        assert!(GateKind::Nand.is_inverting());
+        assert!(!GateKind::And.is_inverting());
+        assert!(GateKind::Not.is_inverting());
+    }
+}

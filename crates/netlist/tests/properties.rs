@@ -1,0 +1,164 @@
+//! Property-based tests for the netlist substrate: truth-table algebra,
+//! random-circuit structural invariants, and format round-trips.
+
+use proptest::prelude::*;
+
+use sttlock_netlist::{bench_format, graph, verilog, GateKind, NetlistBuilder, TruthTable};
+
+fn arb_table(inputs: usize) -> impl Strategy<Value = TruthTable> {
+    any::<u64>().prop_map(move |bits| TruthTable::new(inputs, bits))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded(a in arb_table(3), b in arb_table(3)) {
+        let s = a.similarity(&b);
+        prop_assert_eq!(s, b.similarity(&a));
+        prop_assert!(s <= a.rows());
+    }
+
+    #[test]
+    fn self_similarity_is_total(a in arb_table(4)) {
+        prop_assert_eq!(a.similarity(&a), a.rows());
+        prop_assert_eq!(a.similarity(&a.complement()), 0);
+    }
+
+    #[test]
+    fn complement_partitions_similarity(a in arb_table(3), b in arb_table(3)) {
+        // Agreements with b and with ¬b partition the rows.
+        prop_assert_eq!(a.similarity(&b) + a.similarity(&b.complement()), a.rows());
+    }
+
+    #[test]
+    fn eval_parallel_matches_eval(a in arb_table(3), lanes in any::<[u64; 3]>()) {
+        let out = a.eval_parallel(&lanes);
+        for lane in 0..64 {
+            let mut row = 0usize;
+            for (i, w) in lanes.iter().enumerate() {
+                if (w >> lane) & 1 == 1 {
+                    row |= 1 << i;
+                }
+            }
+            prop_assert_eq!((out >> lane) & 1 == 1, a.eval(row));
+        }
+    }
+
+    #[test]
+    fn new_masks_out_of_range_bits(bits in any::<u64>()) {
+        let t = TruthTable::new(2, bits);
+        prop_assert_eq!(t.bits() & !0xF, 0);
+    }
+}
+
+/// Strategy: a small random combinational-plus-registers circuit, built
+/// by wiring each new gate to previously declared signals only (so the
+/// result is valid by construction).
+fn arb_circuit() -> impl Strategy<Value = sttlock_netlist::Netlist> {
+    let kinds = prop::sample::select(vec![
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Not,
+    ]);
+    (
+        2usize..5,                                          // inputs
+        prop::collection::vec((kinds, any::<u32>(), any::<u32>(), prop::bool::ANY), 1..40),
+    )
+        .prop_map(|(n_inputs, gates)| {
+            let mut b = NetlistBuilder::new("prop");
+            let mut signals: Vec<String> = Vec::new();
+            for i in 0..n_inputs {
+                let name = format!("i{i}");
+                b.input(&name);
+                signals.push(name);
+            }
+            for (g, (kind, f1, f2, make_ff)) in gates.into_iter().enumerate() {
+                let name = format!("g{g}");
+                let a = signals[f1 as usize % signals.len()].clone();
+                if kind.is_unary() {
+                    b.gate(&name, kind, &[&a]);
+                } else {
+                    let mut c = signals[f2 as usize % signals.len()].clone();
+                    if c == a {
+                        c = signals[(f2 as usize + 1) % signals.len()].clone();
+                    }
+                    if c == a {
+                        b.gate(&name, GateKind::Not, &[&a]);
+                    } else {
+                        b.gate(&name, kind, &[&a, &c]);
+                    }
+                }
+                signals.push(name.clone());
+                if make_ff {
+                    let ff = format!("f{g}");
+                    b.dff(&ff, &name);
+                    signals.push(ff);
+                }
+            }
+            let last = signals.last().expect("nonempty").clone();
+            b.output(&last);
+            b.finish().expect("constructed circuits are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_circuits_validate_and_level(n in arb_circuit()) {
+        prop_assert!(n.check_acyclic().is_ok());
+        let order = graph::topo_order(&n);
+        prop_assert_eq!(order.len(), n.gate_count());
+        // Levels respect the topological order.
+        let levels = graph::levels(&n);
+        for &id in &order {
+            for &f in n.node(id).fanin() {
+                if n.node(f).is_combinational() {
+                    prop_assert!(levels[f.index()] < levels[id.index()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bench_round_trip_preserves_structure(n in arb_circuit()) {
+        let text = bench_format::write(&n);
+        let back = bench_format::parse(&text, n.name()).expect("own output parses");
+        prop_assert_eq!(back.gate_count(), n.gate_count());
+        prop_assert_eq!(back.dff_count(), n.dff_count());
+        prop_assert_eq!(back.inputs().len(), n.inputs().len());
+        prop_assert_eq!(back.outputs().len(), n.outputs().len());
+    }
+
+    #[test]
+    fn verilog_round_trip_preserves_structure(n in arb_circuit()) {
+        let text = verilog::write(&n);
+        let back = verilog::parse(&text).expect("own output parses");
+        prop_assert_eq!(back.gate_count(), n.gate_count());
+        prop_assert_eq!(back.dff_count(), n.dff_count());
+        prop_assert_eq!(back.inputs().len(), n.inputs().len());
+        prop_assert_eq!(back.outputs().len(), n.outputs().len());
+    }
+
+    #[test]
+    fn lut_replacement_round_trips_through_redaction(n in arb_circuit()) {
+        let mut hybrid = n.clone();
+        let gates: Vec<_> = hybrid
+            .node_ids()
+            .filter(|&id| hybrid.node(id).gate_kind().is_some())
+            .step_by(2)
+            .collect();
+        for id in gates {
+            hybrid.replace_gate_with_lut(id).expect("narrow gates fit");
+        }
+        let (stripped, secret) = hybrid.redact();
+        prop_assert_eq!(secret.len(), hybrid.lut_count());
+        let mut restored = stripped;
+        restored.program(&secret);
+        prop_assert_eq!(restored, hybrid);
+    }
+}

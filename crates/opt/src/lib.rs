@@ -1,0 +1,548 @@
+//! Gate-level logic optimization — the "logic synthesis" box of the
+//! paper's Figure 2 flow.
+//!
+//! [`optimize`] rewrites a netlist through four classic passes, executed
+//! in one topological sweep plus a reachability sweep:
+//!
+//! * **constant folding** — gates with constant-determined outputs
+//!   become constants, constant operands are absorbed
+//!   (`AND(x, 1) → x`, `AND(x, 0) → 0`, `XOR(x, 1) → NOT x`, …);
+//! * **buffer/alias collapsing** — buffers and single-operand
+//!   reductions forward their operand, double negations cancel;
+//! * **structural hashing** — structurally identical gates (same kind,
+//!   same operand set) are shared;
+//! * **dead-logic sweep** — nodes that cannot reach a primary output
+//!   (even through flip-flops) are removed.
+//!
+//! Reconfigurable LUTs are **never** folded, hashed or swept into: they
+//! are the security payload, and collapsing them would leak structure.
+//! Their fan-ins are still substituted through aliases.
+//!
+//! The optimized netlist is functionally equivalent to the input (the
+//! integration suite proves it with the SAT equivalence checker) and is
+//! what the selection algorithms should run on — the paper's flow
+//! inserts security *after* synthesis.
+//!
+//! # Example
+//!
+//! ```
+//! use sttlock_netlist::{GateKind, NetlistBuilder};
+//! use sttlock_opt::optimize;
+//!
+//! # fn main() -> Result<(), sttlock_netlist::NetlistError> {
+//! let mut b = NetlistBuilder::new("m");
+//! b.input("x");
+//! b.constant("one", true);
+//! b.gate("g", GateKind::And, &["x", "one"]); // = x
+//! b.gate("h", GateKind::Not, &["g"]);
+//! b.output("h");
+//! let n = b.finish()?;
+//! let (opt, report) = optimize(&n)?;
+//! assert_eq!(opt.gate_count(), 1); // only the NOT survives
+//! assert!(report.collapsed >= 1); // AND(x, 1) forwarded its operand
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+
+use sttlock_netlist::{graph, GateKind, Netlist, NetlistBuilder, NetlistError, Node};
+
+/// Counters describing what [`optimize`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptReport {
+    /// Gates folded away through constants or operand absorption.
+    pub folded: usize,
+    /// Gates shared by structural hashing.
+    pub shared: usize,
+    /// Buffers/aliases collapsed (including cancelled double negations).
+    pub collapsed: usize,
+    /// Nodes removed by the dead-logic sweep.
+    pub swept: usize,
+}
+
+impl OptReport {
+    /// Total removed nodes.
+    pub fn total_removed(&self) -> usize {
+        self.folded + self.shared + self.collapsed + self.swept
+    }
+}
+
+/// What an original node maps to in the optimized netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Rep {
+    Const(bool),
+    Name(String),
+}
+
+#[derive(Debug, Clone)]
+enum Def {
+    Input,
+    Const(bool),
+    Gate(GateKind, Vec<String>),
+    Dff(String),
+    Lut(Vec<String>, Option<sttlock_netlist::TruthTable>),
+}
+
+/// Optimizes a netlist. Returns the rewritten netlist and a report.
+///
+/// Primary inputs and outputs are preserved by count and order; an
+/// output whose cone folds to a constant is driven by an explicit
+/// constant node. Flip-flops are never folded (their reset behaviour is
+/// part of the design's function) but are swept when nothing observable
+/// depends on them.
+///
+/// # Errors
+///
+/// Returns a [`NetlistError`] only if the rebuilt netlist fails
+/// validation, which would indicate a bug in the rewrite rules — the
+/// error is surfaced rather than panicking so callers can fall back to
+/// the unoptimized netlist.
+pub fn optimize(netlist: &Netlist) -> Result<(Netlist, OptReport), NetlistError> {
+    let mut report = OptReport::default();
+    let mut rep: Vec<Option<Rep>> = vec![None; netlist.len()];
+    let mut defs: Vec<(String, Def)> = Vec::new();
+    let mut def_index: HashMap<String, usize> = HashMap::new();
+    // Structural hash: (kind, sorted operands) → surviving node name.
+    let mut strash: HashMap<(GateKind, Vec<String>), String> = HashMap::new();
+    // name → operand it negates (for double-negation cancelling).
+    let mut not_of: HashMap<String, String> = HashMap::new();
+
+    let emit = |name: &str, def: Def, defs: &mut Vec<(String, Def)>, def_index: &mut HashMap<String, usize>| {
+        def_index.insert(name.to_owned(), defs.len());
+        defs.push((name.to_owned(), def));
+    };
+
+    // Sources first: inputs, constants, flip-flops (D filled later).
+    for (id, node) in netlist.iter() {
+        let name = netlist.node_name(id);
+        match node {
+            Node::Input => {
+                rep[id.index()] = Some(Rep::Name(name.to_owned()));
+                emit(name, Def::Input, &mut defs, &mut def_index);
+            }
+            Node::Const(v) => {
+                rep[id.index()] = Some(Rep::Const(*v));
+            }
+            Node::Dff { .. } => {
+                rep[id.index()] = Some(Rep::Name(name.to_owned()));
+                emit(name, Def::Dff(String::new()), &mut defs, &mut def_index);
+            }
+            _ => {}
+        }
+    }
+
+    // Shared constant drivers, created on demand.
+    let mut const_names: [Option<String>; 2] = [None, None];
+    let mut const_name = |v: bool,
+                          defs: &mut Vec<(String, Def)>,
+                          def_index: &mut HashMap<String, usize>|
+     -> String {
+        let slot = usize::from(v);
+        if let Some(n) = &const_names[slot] {
+            return n.clone();
+        }
+        let name = format!("_const{}", u8::from(v));
+        def_index.insert(name.clone(), defs.len());
+        defs.push((name.clone(), Def::Const(v)));
+        const_names[slot] = Some(name.clone());
+        name
+    };
+
+    // Combinational nodes in dependency order.
+    for id in graph::topo_order(netlist) {
+        let name = netlist.node_name(id).to_owned();
+        let node = netlist.node(id);
+        let subs: Vec<Rep> = node
+            .fanin()
+            .iter()
+            .map(|f| rep[f.index()].clone().expect("topo order resolves fan-ins"))
+            .collect();
+
+        if let Node::Lut { config, .. } = node {
+            // LUTs survive untouched; substitute their operands only.
+            let operands: Vec<String> = subs
+                .iter()
+                .map(|r| match r {
+                    Rep::Const(v) => const_name(*v, &mut defs, &mut def_index),
+                    Rep::Name(n) => n.clone(),
+                })
+                .collect();
+            rep[id.index()] = Some(Rep::Name(name.clone()));
+            emit(&name, Def::Lut(operands, *config), &mut defs, &mut def_index);
+            continue;
+        }
+
+        let kind = node.gate_kind().expect("combinational non-LUT is a gate");
+        let outcome = simplify(kind, &subs);
+        let resolved = match outcome {
+            Simplified::Const(v) => {
+                report.folded += 1;
+                Rep::Const(v)
+            }
+            Simplified::Alias(op) => {
+                report.collapsed += 1;
+                Rep::Name(op)
+            }
+            Simplified::Not(op) => {
+                // Cancel NOT(NOT(x)).
+                if let Some(inner) = not_of.get(&op) {
+                    report.collapsed += 1;
+                    Rep::Name(inner.clone())
+                } else if let Some(existing) = strash.get(&(GateKind::Not, vec![op.clone()])) {
+                    report.shared += 1;
+                    Rep::Name(existing.clone())
+                } else {
+                    strash.insert((GateKind::Not, vec![op.clone()]), name.clone());
+                    not_of.insert(name.clone(), op.clone());
+                    emit(&name, Def::Gate(GateKind::Not, vec![op]), &mut defs, &mut def_index);
+                    Rep::Name(name.clone())
+                }
+            }
+            Simplified::Gate(k, mut ops) => {
+                ops.sort();
+                if let Some(existing) = strash.get(&(k, ops.clone())) {
+                    report.shared += 1;
+                    Rep::Name(existing.clone())
+                } else {
+                    strash.insert((k, ops.clone()), name.clone());
+                    emit(&name, Def::Gate(k, ops), &mut defs, &mut def_index);
+                    Rep::Name(name.clone())
+                }
+            }
+        };
+        rep[id.index()] = Some(resolved);
+    }
+
+    // Fill flip-flop D pins.
+    for (id, node) in netlist.iter() {
+        if let Node::Dff { d } = node {
+            let name = netlist.node_name(id);
+            let d_name = match rep[d.index()].clone().expect("resolved") {
+                Rep::Const(v) => const_name(v, &mut defs, &mut def_index),
+                Rep::Name(n) => n,
+            };
+            let slot = def_index[name];
+            defs[slot].1 = Def::Dff(d_name);
+        }
+    }
+
+    // Output representatives (constant cones get explicit drivers).
+    let outputs: Vec<String> = netlist
+        .outputs()
+        .iter()
+        .map(|&o| match rep[o.index()].clone().expect("resolved") {
+            Rep::Const(v) => const_name(v, &mut defs, &mut def_index),
+            Rep::Name(n) => n,
+        })
+        .collect();
+
+    // Dead-logic sweep: keep what the outputs reach (crossing DFFs).
+    let mut keep: HashSet<String> = HashSet::new();
+    let mut stack: Vec<String> = outputs.clone();
+    while let Some(n) = stack.pop() {
+        if !keep.insert(n.clone()) {
+            continue;
+        }
+        let Some(&slot) = def_index.get(&n) else { continue };
+        match &defs[slot].1 {
+            Def::Gate(_, ops) | Def::Lut(ops, _) => stack.extend(ops.iter().cloned()),
+            Def::Dff(d) => stack.push(d.clone()),
+            Def::Input | Def::Const(_) => {}
+        }
+    }
+
+    let mut b = NetlistBuilder::new(netlist.name());
+    for (name, def) in &defs {
+        let dead = !keep.contains(name) && !matches!(def, Def::Input);
+        if dead {
+            report.swept += 1;
+            continue;
+        }
+        match def {
+            Def::Input => {
+                b.input(name);
+            }
+            Def::Const(v) => {
+                b.constant(name, *v);
+            }
+            Def::Gate(kind, ops) => {
+                let refs: Vec<&str> = ops.iter().map(String::as_str).collect();
+                b.gate(name, *kind, &refs);
+            }
+            Def::Dff(d) => {
+                b.dff(name, d);
+            }
+            Def::Lut(ops, config) => {
+                let refs: Vec<&str> = ops.iter().map(String::as_str).collect();
+                b.lut(name, &refs, *config);
+            }
+        }
+    }
+    for o in &outputs {
+        b.output(o);
+    }
+    let optimized = b.finish()?;
+    Ok((optimized, report))
+}
+
+enum Simplified {
+    Const(bool),
+    Alias(String),
+    Not(String),
+    Gate(GateKind, Vec<String>),
+}
+
+/// Applies the algebraic rules for one gate given resolved operands.
+fn simplify(kind: GateKind, subs: &[Rep]) -> Simplified {
+    use GateKind::*;
+    match kind {
+        Buf => match &subs[0] {
+            Rep::Const(v) => Simplified::Const(*v),
+            Rep::Name(n) => Simplified::Alias(n.clone()),
+        },
+        Not => match &subs[0] {
+            Rep::Const(v) => Simplified::Const(!v),
+            Rep::Name(n) => Simplified::Not(n.clone()),
+        },
+        And | Nand => {
+            let invert = kind == Nand;
+            let mut ops: Vec<String> = Vec::new();
+            for s in subs {
+                match s {
+                    Rep::Const(false) => return Simplified::Const(invert),
+                    Rep::Const(true) => {}
+                    Rep::Name(n) => {
+                        if !ops.contains(n) {
+                            ops.push(n.clone());
+                        }
+                    }
+                }
+            }
+            finish_monotone(invert, ops, true)
+        }
+        Or | Nor => {
+            let invert = kind == Nor;
+            let mut ops: Vec<String> = Vec::new();
+            for s in subs {
+                match s {
+                    Rep::Const(true) => return Simplified::Const(!invert),
+                    Rep::Const(false) => {}
+                    Rep::Name(n) => {
+                        if !ops.contains(n) {
+                            ops.push(n.clone());
+                        }
+                    }
+                }
+            }
+            finish_monotone(invert, ops, false)
+        }
+        Xor | Xnor => {
+            let mut parity = kind == Xnor;
+            let mut ops: Vec<String> = Vec::new();
+            for s in subs {
+                match s {
+                    Rep::Const(v) => parity ^= v,
+                    Rep::Name(n) => {
+                        // x ⊕ x = 0: pairs cancel.
+                        if let Some(pos) = ops.iter().position(|o| o == n) {
+                            ops.remove(pos);
+                        } else {
+                            ops.push(n.clone());
+                        }
+                    }
+                }
+            }
+            match (ops.len(), parity) {
+                (0, p) => Simplified::Const(p),
+                (1, false) => Simplified::Alias(ops.pop().expect("one operand")),
+                (1, true) => Simplified::Not(ops.pop().expect("one operand")),
+                (_, false) => Simplified::Gate(GateKind::Xor, ops),
+                (_, true) => Simplified::Gate(GateKind::Xnor, ops),
+            }
+        }
+    }
+}
+
+/// Shared tail for AND/NAND/OR/NOR after constant absorption.
+/// `identity_empty` is the value of the un-inverted reduction over zero
+/// operands (true for AND, false for OR).
+fn finish_monotone(invert: bool, mut ops: Vec<String>, identity_empty: bool) -> Simplified {
+    match ops.len() {
+        0 => Simplified::Const(identity_empty ^ invert),
+        1 => {
+            let op = ops.pop().expect("one operand");
+            if invert {
+                Simplified::Not(op)
+            } else {
+                Simplified::Alias(op)
+            }
+        }
+        _ => {
+            let kind = match (identity_empty, invert) {
+                (true, false) => GateKind::And,
+                (true, true) => GateKind::Nand,
+                (false, false) => GateKind::Or,
+                (false, true) => GateKind::Nor,
+            };
+            Simplified::Gate(kind, ops)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sttlock_netlist::NetlistBuilder;
+
+    fn build(f: impl FnOnce(&mut NetlistBuilder)) -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        f(&mut b);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn constant_folding_collapses_cones() {
+        let n = build(|b| {
+            b.input("x");
+            b.constant("zero", false);
+            b.gate("g1", GateKind::And, &["x", "zero"]); // 0
+            b.gate("g2", GateKind::Or, &["g1", "x"]); // x
+            b.gate("g3", GateKind::Nand, &["g2", "g2"]); // NOT x
+            b.output("g3");
+        });
+        let (opt, report) = optimize(&n).unwrap();
+        assert_eq!(opt.gate_count(), 1, "only the NOT survives");
+        assert!(report.folded >= 1);
+        assert!(report.collapsed >= 1);
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let n = build(|b| {
+            b.input("x");
+            b.input("y");
+            b.gate("n1", GateKind::Not, &["x"]);
+            b.gate("n2", GateKind::Not, &["n1"]);
+            b.gate("o", GateKind::And, &["n2", "y"]); // = AND(x, y)
+            b.output("o");
+        });
+        let (opt, _) = optimize(&n).unwrap();
+        assert_eq!(opt.gate_count(), 1);
+        let o = opt.outputs()[0];
+        assert_eq!(opt.node(o).gate_kind(), Some(GateKind::And));
+    }
+
+    #[test]
+    fn structural_hashing_shares_duplicates() {
+        let n = build(|b| {
+            b.input("x");
+            b.input("y");
+            b.gate("a1", GateKind::Nand, &["x", "y"]);
+            b.gate("a2", GateKind::Nand, &["y", "x"]); // same function
+            b.gate("o", GateKind::Xor, &["a1", "a2"]); // = 0
+            b.output("o");
+        });
+        let (opt, report) = optimize(&n).unwrap();
+        assert!(report.shared >= 1);
+        // XOR(a, a) folds to constant 0 → output driven by a constant.
+        let o = opt.outputs()[0];
+        assert!(matches!(opt.node(o), Node::Const(false)));
+    }
+
+    #[test]
+    fn dead_logic_is_swept() {
+        let n = build(|b| {
+            b.input("x");
+            b.gate("used", GateKind::Not, &["x"]);
+            b.gate("dead1", GateKind::Not, &["x"]);
+            b.gate("dead2", GateKind::And, &["dead1", "x"]);
+            b.dff("dead_ff", "dead2");
+            b.output("used");
+        });
+        let (opt, report) = optimize(&n).unwrap();
+        assert_eq!(opt.gate_count(), 1);
+        assert_eq!(opt.dff_count(), 0);
+        // dead1 is structurally identical to used → shared, then dead2
+        // and the flop are swept.
+        assert!(report.swept >= 2, "{report:?}");
+    }
+
+    #[test]
+    fn xor_pair_cancellation() {
+        let n = build(|b| {
+            b.input("x");
+            b.input("y");
+            b.gate("g", GateKind::Xor, &["x", "y", "x"]); // = y
+            b.output("g");
+        });
+        let (opt, _) = optimize(&n).unwrap();
+        assert_eq!(opt.gate_count(), 0);
+        assert_eq!(opt.node_name(opt.outputs()[0]), "y");
+    }
+
+    #[test]
+    fn luts_are_never_touched() {
+        let n = build(|b| {
+            b.input("x");
+            b.constant("one", true);
+            b.lut(
+                "l",
+                &["x", "one"],
+                Some(sttlock_netlist::TruthTable::from_gate(GateKind::And, 2)),
+            );
+            b.output("l");
+        });
+        let (opt, _) = optimize(&n).unwrap();
+        assert_eq!(opt.lut_count(), 1, "security payload must survive");
+        let l = opt.find("l").unwrap();
+        assert_eq!(opt.node(l).fanin().len(), 2);
+    }
+
+    #[test]
+    fn outputs_folding_to_constants_get_drivers() {
+        let n = build(|b| {
+            b.input("x");
+            b.gate("g", GateKind::Xnor, &["x", "x"]); // constant 1
+            b.output("g");
+        });
+        let (opt, _) = optimize(&n).unwrap();
+        assert!(matches!(opt.node(opt.outputs()[0]), Node::Const(true)));
+    }
+
+    #[test]
+    fn flip_flops_are_not_folded() {
+        // q := NOT q toggles forever; folding it to a constant would be
+        // wrong. The optimizer must keep the loop.
+        let n = build(|b| {
+            b.input("x");
+            b.gate("next", GateKind::Not, &["q"]);
+            b.dff("q", "next");
+            b.gate("o", GateKind::And, &["q", "x"]);
+            b.output("o");
+        });
+        let (opt, _) = optimize(&n).unwrap();
+        assert_eq!(opt.dff_count(), 1);
+        assert_eq!(opt.gate_count(), 2);
+    }
+
+    #[test]
+    fn idempotent_on_already_optimal_netlists() {
+        let n = build(|b| {
+            b.input("x");
+            b.input("y");
+            b.gate("g", GateKind::Nand, &["x", "y"]);
+            b.dff("q", "g");
+            b.gate("o", GateKind::Xor, &["q", "x"]);
+            b.output("o");
+        });
+        let (once, r1) = optimize(&n).unwrap();
+        let (twice, r2) = optimize(&once).unwrap();
+        assert_eq!(once.gate_count(), twice.gate_count());
+        assert_eq!(r1.total_removed(), 0);
+        assert_eq!(r2.total_removed(), 0);
+    }
+}

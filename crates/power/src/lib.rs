@@ -1,0 +1,290 @@
+//! Power, leakage and area analysis for hybrid STT-CMOS netlists.
+//!
+//! The model follows the technology characterization of the paper's
+//! Figure 1:
+//!
+//! * a CMOS gate dissipates `α · f · E_sw` dynamic power (activity-
+//!   proportional) plus its cell leakage;
+//! * an STT LUT dissipates `f · E_cycle` regardless of activity or
+//!   content (its dynamic read path fires every cycle) plus its near-zero
+//!   MTJ standby power;
+//! * a flip-flop pays its clock energy every cycle.
+//!
+//! [`analyze_power`] consumes a measured
+//! `ActivityReport` measured by simulation;
+//! [`analyze_power_static`] uses the probabilistic estimate instead. The
+//! relative overheads of Table I come from [`OverheadReport::between`].
+//!
+//! The [`trace`] module computes per-cycle power traces, used to
+//! demonstrate the paper's side-channel claim: LUT power does not depend
+//! on the data being processed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod trace;
+
+use sttlock_netlist::{Netlist, Node};
+use sttlock_sim::activity::ActivityReport;
+use sttlock_sim::probability::ProbabilityReport;
+use sttlock_techlib::Library;
+
+/// Total power split into its components, microwatts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerBreakdown {
+    /// Activity-driven switching power of CMOS gates, µW.
+    pub cmos_dynamic_uw: f64,
+    /// Cycle-driven read power of STT LUTs, µW.
+    pub lut_dynamic_uw: f64,
+    /// Clock power of the flip-flops, µW.
+    pub clock_uw: f64,
+    /// Standby/leakage power of all cells, µW.
+    pub leakage_uw: f64,
+}
+
+impl PowerBreakdown {
+    /// Total power, microwatts.
+    pub fn total_uw(&self) -> f64 {
+        self.cmos_dynamic_uw + self.lut_dynamic_uw + self.clock_uw + self.leakage_uw
+    }
+}
+
+/// Computes the power breakdown from a measured activity report.
+///
+/// The report must have been produced for a netlist with the same arena
+/// layout (the original and its hybrid share node ids, so one measurement
+/// serves both — LUT power does not read the activity anyway).
+///
+/// # Panics
+///
+/// Panics if the activity report is shorter than the netlist.
+pub fn analyze_power(netlist: &Netlist, lib: &Library, activity: &ActivityReport) -> PowerBreakdown {
+    assert!(
+        activity.alpha.len() >= netlist.len(),
+        "activity report does not cover the netlist"
+    );
+    analyze_with(netlist, lib, |i| activity.alpha[i])
+}
+
+/// Computes the power breakdown from static signal probabilities
+/// (`α = 2·p·(1−p)` under temporal independence).
+pub fn analyze_power_static(
+    netlist: &Netlist,
+    lib: &Library,
+    prob: &ProbabilityReport,
+) -> PowerBreakdown {
+    assert!(
+        prob.p_one.len() >= netlist.len(),
+        "probability report does not cover the netlist"
+    );
+    analyze_with(netlist, lib, |i| {
+        let p = prob.p_one[i];
+        2.0 * p * (1.0 - p)
+    })
+}
+
+fn analyze_with(
+    netlist: &Netlist,
+    lib: &Library,
+    alpha: impl Fn(usize) -> f64,
+) -> PowerBreakdown {
+    let f = lib.clock_ghz();
+    let mut out = PowerBreakdown::default();
+    for (id, node) in netlist.iter() {
+        match node {
+            Node::Gate { kind, fanin } => {
+                let cell = lib.gate(*kind, fanin.len());
+                out.cmos_dynamic_uw += alpha(id.index()) * f * cell.switch_energy_fj;
+                out.leakage_uw += cell.leakage_nw * 1e-3;
+            }
+            Node::Lut { fanin, .. } => {
+                let lut = lib.lut(fanin.len());
+                out.lut_dynamic_uw += lut.active_power_uw(f);
+                out.leakage_uw += lut.standby_nw * 1e-3;
+            }
+            Node::Dff { .. } => {
+                let ff = lib.dff();
+                out.clock_uw += f * ff.clock_energy_fj;
+                out.leakage_uw += ff.leakage_nw * 1e-3;
+            }
+            Node::Input | Node::Const(_) => {}
+        }
+    }
+    out
+}
+
+/// Total cell area, square micrometers.
+pub fn analyze_area(netlist: &Netlist, lib: &Library) -> f64 {
+    let mut area = 0.0;
+    for (_, node) in netlist.iter() {
+        area += match node {
+            Node::Gate { kind, fanin } => lib.gate(*kind, fanin.len()).area_um2,
+            Node::Lut { fanin, .. } => lib.lut(fanin.len()).area_um2,
+            Node::Dff { .. } => lib.dff().area_um2,
+            Node::Input | Node::Const(_) => 0.0,
+        };
+    }
+    area
+}
+
+/// Relative power/area overheads of a hybrid design against its CMOS
+/// baseline — the Table I columns.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OverheadReport {
+    /// Total power overhead, percent.
+    pub power_pct: f64,
+    /// Leakage-only overhead, percent (negative when the LUTs' near-zero
+    /// standby power wins, as the paper predicts for small fan-ins).
+    pub leakage_pct: f64,
+    /// Area overhead, percent.
+    pub area_pct: f64,
+}
+
+impl OverheadReport {
+    /// Computes overheads between a baseline and a hybrid analysis.
+    pub fn between(
+        base_power: &PowerBreakdown,
+        base_area: f64,
+        hybrid_power: &PowerBreakdown,
+        hybrid_area: f64,
+    ) -> OverheadReport {
+        OverheadReport {
+            power_pct: pct(base_power.total_uw(), hybrid_power.total_uw()),
+            leakage_pct: pct(base_power.leakage_uw, hybrid_power.leakage_uw),
+            area_pct: pct(base_area, hybrid_area),
+        }
+    }
+}
+
+fn pct(base: f64, new: f64) -> f64 {
+    if base <= 0.0 {
+        0.0
+    } else {
+        (new - base) / base * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sttlock_netlist::{GateKind, NetlistBuilder};
+    use sttlock_sim::activity::estimate_activity;
+    use sttlock_sim::probability::signal_probabilities;
+
+    fn toy() -> Netlist {
+        let mut b = NetlistBuilder::new("toy");
+        b.input("a");
+        b.input("c");
+        b.gate("g1", GateKind::Nand, &["a", "c"]);
+        b.gate("g2", GateKind::Xor, &["g1", "a"]);
+        b.dff("q", "g2");
+        b.output("q");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn breakdown_components_sum() {
+        let p = PowerBreakdown {
+            cmos_dynamic_uw: 1.0,
+            lut_dynamic_uw: 2.0,
+            clock_uw: 3.0,
+            leakage_uw: 4.0,
+        };
+        assert!((p.total_uw() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_power_is_positive_and_activity_sensitive() {
+        let n = toy();
+        let lib = Library::predictive_90nm();
+        let mut rng = StdRng::seed_from_u64(1);
+        let act = estimate_activity(&n, 100, &mut rng).unwrap();
+        let p = analyze_power(&n, &lib, &act);
+        assert!(p.cmos_dynamic_uw > 0.0);
+        assert!(p.clock_uw > 0.0);
+        assert!(p.leakage_uw > 0.0);
+        assert_eq!(p.lut_dynamic_uw, 0.0);
+    }
+
+    #[test]
+    fn static_and_dynamic_estimates_agree_roughly() {
+        let n = toy();
+        let lib = Library::predictive_90nm();
+        let mut rng = StdRng::seed_from_u64(2);
+        let act = estimate_activity(&n, 500, &mut rng).unwrap();
+        let dynamic = analyze_power(&n, &lib, &act);
+        let prob = signal_probabilities(&n);
+        let stat = analyze_power_static(&n, &lib, &prob);
+        let ratio = stat.total_uw() / dynamic.total_uw();
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "static {} vs dynamic {}",
+            stat.total_uw(),
+            dynamic.total_uw()
+        );
+    }
+
+    #[test]
+    fn hybrid_lut_power_is_activity_insensitive() {
+        let mut n = toy();
+        n.replace_gate_with_lut(n.find("g1").unwrap()).unwrap();
+        let lib = Library::predictive_90nm();
+        // Zero-activity report: CMOS dynamic collapses, LUT power remains.
+        let zero = ActivityReport { alpha: vec![0.0; n.len()], cycles: 1 };
+        let p = analyze_power(&n, &lib, &zero);
+        assert!(p.lut_dynamic_uw > 0.0);
+        assert_eq!(p.cmos_dynamic_uw, 0.0);
+    }
+
+    #[test]
+    fn replacement_increases_power_and_area() {
+        let n = toy();
+        let lib = Library::predictive_90nm();
+        let mut rng = StdRng::seed_from_u64(3);
+        let act = estimate_activity(&n, 200, &mut rng).unwrap();
+        let base_p = analyze_power(&n, &lib, &act);
+        let base_a = analyze_area(&n, &lib);
+
+        let mut hybrid = n.clone();
+        hybrid.replace_gate_with_lut(hybrid.find("g1").unwrap()).unwrap();
+        let hyb_p = analyze_power(&hybrid, &lib, &act);
+        let hyb_a = analyze_area(&hybrid, &lib);
+        let report = OverheadReport::between(&base_p, base_a, &hyb_p, hyb_a);
+        assert!(report.power_pct > 0.0, "power {:?}", report);
+        assert!(report.area_pct > 0.0, "area {:?}", report);
+        // NAND2's leakage is higher than the LUT's MTJ standby power.
+        assert!(report.leakage_pct < 0.0, "leakage {:?}", report);
+    }
+
+    #[test]
+    fn redacted_view_draws_same_power() {
+        let mut n = toy();
+        n.replace_gate_with_lut(n.find("g1").unwrap()).unwrap();
+        let (stripped, _) = n.redact();
+        let lib = Library::predictive_90nm();
+        let zero = ActivityReport { alpha: vec![0.0; n.len()], cycles: 1 };
+        assert_eq!(
+            analyze_power(&n, &lib, &zero),
+            analyze_power(&stripped, &lib, &zero)
+        );
+        assert_eq!(analyze_area(&n, &lib), analyze_area(&stripped, &lib));
+    }
+
+    #[test]
+    fn area_counts_all_cells() {
+        let n = toy();
+        let lib = Library::predictive_90nm();
+        let expect = lib.gate(GateKind::Nand, 2).area_um2
+            + lib.gate(GateKind::Xor, 2).area_um2
+            + lib.dff().area_um2;
+        assert!((analyze_area(&n, &lib) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pct_handles_zero_baseline() {
+        assert_eq!(pct(0.0, 5.0), 0.0);
+        assert!((pct(10.0, 11.0) - 10.0).abs() < 1e-12);
+    }
+}

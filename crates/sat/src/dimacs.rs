@@ -1,0 +1,168 @@
+//! DIMACS CNF reading and writing.
+//!
+//! Round-trips the solver's clause database for interop with external
+//! tools and for file-based regression tests.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::lit::{Lit, Var};
+use crate::solver::Solver;
+
+/// A parsed CNF formula.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cnf {
+    /// Declared variable count.
+    pub num_vars: usize,
+    /// Clauses as literal lists.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Loads the formula into a fresh solver.
+    pub fn into_solver(&self) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..self.num_vars {
+            s.new_var();
+        }
+        for c in &self.clauses {
+            s.add_clause(c);
+        }
+        s
+    }
+}
+
+/// DIMACS parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] for malformed headers, out-of-range
+/// variables or stray tokens.
+pub fn parse(text: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut cnf = Cnf::default();
+    let mut header_seen = false;
+    let mut current: Vec<Lit> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let err = |message: String| ParseDimacsError { line: lineno + 1, message };
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if line.starts_with('p') {
+            let mut parts = line.split_whitespace();
+            let (_, fmt_kw) = (parts.next(), parts.next());
+            if fmt_kw != Some("cnf") {
+                return Err(err("expected `p cnf <vars> <clauses>`".into()));
+            }
+            cnf.num_vars = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err("bad variable count".into()))?;
+            header_seen = true;
+            continue;
+        }
+        if !header_seen {
+            return Err(err("clause before `p cnf` header".into()));
+        }
+        for tok in line.split_whitespace() {
+            let v: i64 = tok
+                .parse()
+                .map_err(|_| err(format!("bad literal `{tok}`")))?;
+            if v == 0 {
+                cnf.clauses.push(std::mem::take(&mut current));
+            } else {
+                let idx = v.unsigned_abs() as usize - 1;
+                if idx >= cnf.num_vars {
+                    return Err(err(format!("variable {} out of range", v.abs())));
+                }
+                current.push(Lit::new(Var::from_index(idx), v < 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        cnf.clauses.push(current);
+    }
+    Ok(cnf)
+}
+
+/// Serializes a formula to DIMACS text.
+pub fn write(cnf: &Cnf) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars, cnf.clauses.len());
+    for c in &cnf.clauses {
+        for &l in c {
+            let v = l.var().index() as i64 + 1;
+            let _ = write!(out, "{} ", if l.is_neg() { -v } else { v });
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SatResult;
+
+    const SAMPLE: &str = "c sample\np cnf 3 2\n1 -2 0\n2 3 0\n";
+
+    #[test]
+    fn parses_and_solves() {
+        let cnf = parse(SAMPLE).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        let mut s = cnf.into_solver();
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn round_trips() {
+        let cnf = parse(SAMPLE).unwrap();
+        let text = write(&cnf);
+        let again = parse(&text).unwrap();
+        assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(parse("1 2 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_variable() {
+        let e = parse("p cnf 1 1\n2 0\n").unwrap_err();
+        assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn multi_line_clause() {
+        let cnf = parse("p cnf 2 1\n1\n-2 0\n").unwrap();
+        assert_eq!(cnf.clauses.len(), 1);
+        assert_eq!(cnf.clauses[0].len(), 2);
+    }
+
+    #[test]
+    fn unsat_formula_round_trips_to_unsat() {
+        let cnf = parse("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        let mut s = cnf.into_solver();
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+}

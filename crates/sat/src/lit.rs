@@ -1,0 +1,120 @@
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Zero-based variable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a variable from its zero-based index. Prefer ids from
+    /// [`Solver::new_var`](crate::Solver::new_var).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Var(u32::try_from(index).expect("variable index overflows u32"))
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0 + 1)
+    }
+}
+
+/// A literal: a variable or its negation, encoded as `var << 1 | sign`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    #[inline]
+    pub fn pos(v: Var) -> Self {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    #[inline]
+    pub fn neg(v: Var) -> Self {
+        Lit(v.0 << 1 | 1)
+    }
+
+    /// Builds a literal with an explicit sign (`true` = negated).
+    #[inline]
+    pub fn new(v: Var, negated: bool) -> Self {
+        Lit(v.0 << 1 | u32::from(negated))
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is negated.
+    #[inline]
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Dense index for watch lists (`2·var + sign`).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "¬{}", self.var())
+        } else {
+            write!(f, "{}", self.var())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding() {
+        let v = Var::from_index(3);
+        let p = Lit::pos(v);
+        let n = Lit::neg(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(!p.is_neg());
+        assert!(n.is_neg());
+        assert_eq!(!p, n);
+        assert_eq!(!!p, p);
+        assert_eq!(p.index() + 1, n.index());
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var::from_index(0);
+        assert_eq!(Lit::pos(v).to_string(), "x1");
+        assert_eq!(Lit::neg(v).to_string(), "¬x1");
+    }
+
+    #[test]
+    fn new_with_sign() {
+        let v = Var::from_index(5);
+        assert_eq!(Lit::new(v, false), Lit::pos(v));
+        assert_eq!(Lit::new(v, true), Lit::neg(v));
+    }
+}

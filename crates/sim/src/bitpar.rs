@@ -1,0 +1,350 @@
+use sttlock_netlist::{graph, Netlist, Node, NodeId};
+
+use crate::error::SimError;
+
+/// A 64-lane bit-parallel two-valued cycle simulator.
+///
+/// Bit `l` of every word belongs to lane `l`: the simulator advances 64
+/// independent pattern streams per [`step`](Simulator::step). Flip-flops
+/// power up at 0 (all lanes), matching the usual reset assumption of the
+/// ISCAS '89 benchmarks.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    order: Vec<NodeId>,
+    /// Current net values, one word per node.
+    values: Vec<u64>,
+    /// Registered state for DFF nodes (indexed like `values`, unused
+    /// entries stay 0).
+    state: Vec<u64>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Prepares a simulator for `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnprogrammedLut`] if the netlist contains a
+    /// redacted LUT — the two-valued engine needs every function defined.
+    pub fn new(netlist: &'a Netlist) -> Result<Self, SimError> {
+        for (id, node) in netlist.iter() {
+            if let Node::Lut { config: None, .. } = node {
+                return Err(SimError::UnprogrammedLut {
+                    name: netlist.node_name(id).to_owned(),
+                });
+            }
+        }
+        Ok(Simulator {
+            netlist,
+            order: graph::topo_order(netlist),
+            values: vec![0; netlist.len()],
+            state: vec![0; netlist.len()],
+        })
+    }
+
+    /// The netlist under simulation.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Clears all flip-flops and net values to 0.
+    pub fn reset(&mut self) {
+        self.values.fill(0);
+        self.state.fill(0);
+    }
+
+    /// Current value word of a net.
+    pub fn value(&self, id: NodeId) -> u64 {
+        self.values[id.index()]
+    }
+
+    /// Evaluates the combinational logic for the given primary-input
+    /// words without advancing the clock. Flip-flop outputs present their
+    /// registered state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InputCountMismatch`] if `inputs` does not have
+    /// one word per primary input.
+    pub fn eval_comb(&mut self, inputs: &[u64]) -> Result<(), SimError> {
+        let pis = self.netlist.inputs();
+        if inputs.len() != pis.len() {
+            return Err(SimError::InputCountMismatch {
+                expected: pis.len(),
+                got: inputs.len(),
+            });
+        }
+        for (&pi, &word) in pis.iter().zip(inputs) {
+            self.values[pi.index()] = word;
+        }
+        for (id, node) in self.netlist.iter() {
+            match node {
+                Node::Const(v) => self.values[id.index()] = if *v { u64::MAX } else { 0 },
+                Node::Dff { .. } => self.values[id.index()] = self.state[id.index()],
+                _ => {}
+            }
+        }
+        let mut scratch: Vec<u64> = Vec::with_capacity(8);
+        for &id in &self.order {
+            let out = match self.netlist.node(id) {
+                Node::Gate { kind, fanin } => {
+                    use sttlock_netlist::GateKind::*;
+                    let mut it = fanin.iter().map(|f| self.values[f.index()]);
+                    match kind {
+                        Buf => it.next().unwrap_or(0),
+                        Not => !it.next().unwrap_or(0),
+                        And => it.fold(u64::MAX, |a, b| a & b),
+                        Nand => !it.fold(u64::MAX, |a, b| a & b),
+                        Or => it.fold(0, |a, b| a | b),
+                        Nor => !it.fold(0, |a, b| a | b),
+                        Xor => it.fold(0, |a, b| a ^ b),
+                        Xnor => !it.fold(0, |a, b| a ^ b),
+                    }
+                }
+                Node::Lut { fanin, config } => {
+                    let table = config.expect("checked at construction");
+                    scratch.clear();
+                    scratch.extend(fanin.iter().map(|f| self.values[f.index()]));
+                    table.eval_parallel(&scratch)
+                }
+                _ => continue,
+            };
+            self.values[id.index()] = out;
+        }
+        Ok(())
+    }
+
+    /// Clocks every flip-flop: the D values computed by the last
+    /// [`eval_comb`](Simulator::eval_comb) become the new state.
+    pub fn clock(&mut self) {
+        for (id, node) in self.netlist.iter() {
+            if let Node::Dff { d } = node {
+                self.state[id.index()] = self.values[d.index()];
+            }
+        }
+    }
+
+    /// One full cycle: evaluate combinational logic for `inputs`, sample
+    /// the primary outputs, then clock the flip-flops. Returns one word
+    /// per primary output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InputCountMismatch`] on an input arity mismatch.
+    pub fn step(&mut self, inputs: &[u64]) -> Result<Vec<u64>, SimError> {
+        self.eval_comb(inputs)?;
+        let outs = self
+            .netlist
+            .outputs()
+            .iter()
+            .map(|&o| self.values[o.index()])
+            .collect();
+        self.clock();
+        Ok(outs)
+    }
+
+    /// Runs `inputs_per_cycle` through [`step`](Simulator::step) from
+    /// reset and returns the output words of every cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates input arity mismatches.
+    pub fn run(&mut self, inputs_per_cycle: &[Vec<u64>]) -> Result<Vec<Vec<u64>>, SimError> {
+        self.reset();
+        inputs_per_cycle.iter().map(|i| self.step(i)).collect()
+    }
+
+    /// Flip-flop ids in arena order — the state vector layout used by
+    /// [`eval_frame`](Simulator::eval_frame).
+    pub fn dff_ids(&self) -> Vec<NodeId> {
+        self.netlist
+            .iter()
+            .filter(|(_, n)| n.is_dff())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Single-frame (full-scan) evaluation: flip-flop outputs are forced
+    /// to `state` (one word per flip-flop, arena order) and the
+    /// combinational logic is evaluated without clocking.
+    ///
+    /// This is the oracle model of the scan-assumed attacks: primary
+    /// inputs *and* state are controllable; primary outputs *and*
+    /// next-state (D pins) are observable via
+    /// [`observation`](Simulator::observation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InputCountMismatch`] if `inputs` or `state`
+    /// have the wrong length (the error reports the input mismatch).
+    pub fn eval_frame(&mut self, inputs: &[u64], state: &[u64]) -> Result<(), SimError> {
+        let dffs = self.dff_ids();
+        if state.len() != dffs.len() {
+            return Err(SimError::InputCountMismatch {
+                expected: dffs.len(),
+                got: state.len(),
+            });
+        }
+        for (&ff, &w) in dffs.iter().zip(state) {
+            self.state[ff.index()] = w;
+        }
+        self.eval_comb(inputs)
+    }
+
+    /// The observation vector of the full-scan model: primary-output
+    /// words followed by flip-flop D-pin words (arena order).
+    pub fn observation(&self) -> Vec<u64> {
+        let mut obs: Vec<u64> = self
+            .netlist
+            .outputs()
+            .iter()
+            .map(|&o| self.values[o.index()])
+            .collect();
+        for (_, node) in self.netlist.iter() {
+            if let Node::Dff { d } = node {
+                obs.push(self.values[d.index()]);
+            }
+        }
+        obs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sttlock_netlist::{GateKind, NetlistBuilder, TruthTable};
+
+    fn comb() -> Netlist {
+        let mut b = NetlistBuilder::new("comb");
+        b.input("a");
+        b.input("b");
+        b.input("c");
+        b.gate("g1", GateKind::And, &["a", "b"]);
+        b.gate("g2", GateKind::Or, &["g1", "c"]);
+        b.gate("g3", GateKind::Xor, &["g2", "a"]);
+        b.output("g3");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn combinational_truth() {
+        let n = comb();
+        let mut sim = Simulator::new(&n).unwrap();
+        // enumerate all 8 assignments in lanes 0..8
+        let mut a = 0u64;
+        let mut bw = 0u64;
+        let mut c = 0u64;
+        for lane in 0..8u64 {
+            if lane & 1 != 0 {
+                a |= 1 << lane;
+            }
+            if lane & 2 != 0 {
+                bw |= 1 << lane;
+            }
+            if lane & 4 != 0 {
+                c |= 1 << lane;
+            }
+        }
+        let outs = sim.step(&[a, bw, c]).unwrap();
+        for lane in 0..8u64 {
+            let (av, bv, cv) = (lane & 1 != 0, lane & 2 != 0, lane & 4 != 0);
+            let expect = ((av && bv) || cv) ^ av;
+            assert_eq!((outs[0] >> lane) & 1 == 1, expect, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn dff_delays_by_one_cycle() {
+        let mut b = NetlistBuilder::new("reg");
+        b.input("d");
+        b.dff("q", "d");
+        b.output("q");
+        let n = b.finish().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        assert_eq!(sim.step(&[u64::MAX]).unwrap()[0], 0); // reset state
+        assert_eq!(sim.step(&[0]).unwrap()[0], u64::MAX); // captured 1s
+        assert_eq!(sim.step(&[0]).unwrap()[0], 0);
+    }
+
+    #[test]
+    fn feedback_counter_toggles() {
+        // state' = state XOR 1 (en tied high) — toggles every cycle.
+        let mut b = NetlistBuilder::new("tog");
+        b.input("en");
+        b.gate("next", GateKind::Xor, &["en", "state"]);
+        b.dff("state", "next");
+        b.output("state");
+        let n = b.finish().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        let seq: Vec<u64> = (0..4)
+            .map(|_| sim.step(&[u64::MAX]).unwrap()[0])
+            .collect();
+        assert_eq!(seq, vec![0, u64::MAX, 0, u64::MAX]);
+    }
+
+    #[test]
+    fn lut_equals_replaced_gate() {
+        let n = comb();
+        let mut hybrid = n.clone();
+        let g2 = hybrid.find("g2").unwrap();
+        hybrid.replace_gate_with_lut(g2).unwrap();
+
+        let mut s1 = Simulator::new(&n).unwrap();
+        let mut s2 = Simulator::new(&hybrid).unwrap();
+        for pat in [[0, 0, 0], [u64::MAX, 5, 99], [7, 7, 7]] {
+            assert_eq!(s1.step(&pat).unwrap(), s2.step(&pat).unwrap());
+        }
+    }
+
+    #[test]
+    fn redacted_lut_is_rejected() {
+        let mut n = comb();
+        let g2 = n.find("g2").unwrap();
+        n.replace_gate_with_lut(g2).unwrap();
+        let (stripped, _) = n.redact();
+        assert!(matches!(
+            Simulator::new(&stripped),
+            Err(SimError::UnprogrammedLut { .. })
+        ));
+    }
+
+    #[test]
+    fn input_arity_checked() {
+        let n = comb();
+        let mut sim = Simulator::new(&n).unwrap();
+        assert!(matches!(
+            sim.step(&[0, 0]),
+            Err(SimError::InputCountMismatch { expected: 3, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut b = NetlistBuilder::new("reg");
+        b.input("d");
+        b.dff("q", "d");
+        b.output("q");
+        let n = b.finish().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.step(&[u64::MAX]).unwrap();
+        sim.reset();
+        assert_eq!(sim.step(&[0]).unwrap()[0], 0);
+    }
+
+    #[test]
+    fn reprogrammed_lut_changes_function() {
+        let mut b = NetlistBuilder::new("lut");
+        b.input("a");
+        b.input("b");
+        b.lut("y", &["a", "b"], Some(TruthTable::from_gate(GateKind::And, 2)));
+        b.output("y");
+        let n = b.finish().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        assert_eq!(sim.step(&[u64::MAX, 0]).unwrap()[0], 0);
+
+        let mut n2 = n.clone();
+        n2.set_lut_config(n2.find("y").unwrap(), TruthTable::from_gate(GateKind::Or, 2));
+        let mut sim2 = Simulator::new(&n2).unwrap();
+        assert_eq!(sim2.step(&[u64::MAX, 0]).unwrap()[0], u64::MAX);
+    }
+}

@@ -1,0 +1,350 @@
+//! Static timing analysis (STA) for hybrid STT-CMOS netlists.
+//!
+//! The analysis propagates arrival times through the combinational core
+//! using the cell delays of a [`Library`]: CMOS gates use their
+//! standard-cell delay, STT LUTs their fan-in-dependent (but content- and
+//! redaction-independent) read delay — so the *foundry view* times
+//! identically to the programmed design, as it must.
+//!
+//! Timing endpoints are flip-flop D pins (plus setup) and primary
+//! outputs; the minimum feasible clock period is the worst endpoint
+//! arrival. The *performance degradation* columns of Table I in the paper
+//! compare this period before and after LUT insertion.
+//!
+//! # Example
+//!
+//! ```
+//! use sttlock_netlist::{GateKind, NetlistBuilder};
+//! use sttlock_techlib::Library;
+//! use sttlock_sta::analyze;
+//!
+//! # fn main() -> Result<(), sttlock_netlist::NetlistError> {
+//! let mut b = NetlistBuilder::new("m");
+//! b.input("a");
+//! b.input("b");
+//! b.gate("g1", GateKind::Nand, &["a", "b"]);
+//! b.gate("g2", GateKind::Xor, &["g1", "a"]);
+//! b.output("g2");
+//! let n = b.finish()?;
+//! let lib = Library::predictive_90nm();
+//! let timing = analyze(&n, &lib);
+//! assert!(timing.clock_period_ns() > 0.0);
+//! assert_eq!(timing.critical_path().last(), Some(&n.find("g2").unwrap()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sttlock_netlist::{graph, Netlist, Node, NodeId};
+use sttlock_techlib::Library;
+
+/// Result of a static timing analysis pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingAnalysis {
+    arrival: Vec<f64>,
+    required: Vec<f64>,
+    critical_path: Vec<NodeId>,
+    clock_period_ns: f64,
+    worst_endpoint: Option<NodeId>,
+}
+
+impl TimingAnalysis {
+    /// Minimum feasible clock period, nanoseconds. The paper's
+    /// performance metric is the relative change of this value.
+    pub fn clock_period_ns(&self) -> f64 {
+        self.clock_period_ns
+    }
+
+    /// Arrival time at a node's output, nanoseconds after the clock edge.
+    pub fn arrival_ns(&self, id: NodeId) -> f64 {
+        self.arrival[id.index()]
+    }
+
+    /// Slack of a node at the analyzed clock period (non-negative for the
+    /// critical path's own period; gates off the critical path have
+    /// positive slack the parametric-aware selection can spend).
+    pub fn slack_ns(&self, id: NodeId) -> f64 {
+        self.required[id.index()] - self.arrival[id.index()]
+    }
+
+    /// The critical path: sources first, worst endpoint last.
+    pub fn critical_path(&self) -> &[NodeId] {
+        &self.critical_path
+    }
+
+    /// The worst timing endpoint (a DFF or a primary-output driver), if
+    /// the circuit has combinational logic at all.
+    pub fn worst_endpoint(&self) -> Option<NodeId> {
+        self.worst_endpoint
+    }
+}
+
+/// Intrinsic propagation delay of one node under `lib`.
+fn node_delay(netlist: &Netlist, lib: &Library, id: NodeId) -> f64 {
+    match netlist.node(id) {
+        Node::Gate { kind, fanin } => lib.gate(*kind, fanin.len()).delay_ns,
+        Node::Lut { fanin, .. } => lib.lut(fanin.len()).delay_ns,
+        _ => 0.0,
+    }
+}
+
+/// Launch time of a source node (arrival at its output with no logic).
+fn source_arrival(netlist: &Netlist, lib: &Library, id: NodeId) -> f64 {
+    match netlist.node(id) {
+        Node::Dff { .. } => lib.dff().clk_to_q_ns,
+        _ => 0.0,
+    }
+}
+
+/// Runs static timing analysis over the whole netlist.
+pub fn analyze(netlist: &Netlist, lib: &Library) -> TimingAnalysis {
+    let order = graph::topo_order(netlist);
+    let n = netlist.len();
+    let mut arrival = vec![0.0f64; n];
+    for (id, node) in netlist.iter() {
+        if !node.is_combinational() {
+            arrival[id.index()] = source_arrival(netlist, lib, id);
+        }
+    }
+    for &id in &order {
+        let node = netlist.node(id);
+        let input_arrival = node
+            .fanin()
+            .iter()
+            .map(|f| arrival[f.index()])
+            .fold(0.0f64, f64::max);
+        arrival[id.index()] = input_arrival + node_delay(netlist, lib, id);
+    }
+
+    // Endpoint arrival: DFF D pins cost an extra setup; POs none.
+    let setup = lib.dff().setup_ns;
+    let mut worst: Option<(NodeId, f64)> = None;
+    let mut consider = |endpoint: NodeId, t: f64| {
+        if worst.map_or(true, |(_, wt)| t > wt) {
+            worst = Some((endpoint, t));
+        }
+    };
+    for (_, node) in netlist.iter() {
+        if let Node::Dff { d } = node {
+            consider(*d, arrival[d.index()] + setup);
+        }
+    }
+    for &o in netlist.outputs() {
+        consider(o, arrival[o.index()]);
+    }
+    let (worst_endpoint, clock_period_ns) = match worst {
+        Some((id, t)) => (Some(id), t),
+        None => (None, 0.0),
+    };
+
+    // Required times (backward pass) at the analyzed period.
+    let mut required = vec![f64::INFINITY; n];
+    for (_, node) in netlist.iter() {
+        if let Node::Dff { d } = node {
+            let r = clock_period_ns - setup;
+            if r < required[d.index()] {
+                required[d.index()] = r;
+            }
+        }
+    }
+    for &o in netlist.outputs() {
+        if clock_period_ns < required[o.index()] {
+            required[o.index()] = clock_period_ns;
+        }
+    }
+    for &id in order.iter().rev() {
+        let r_here = required[id.index()];
+        if !r_here.is_finite() {
+            continue;
+        }
+        let d = node_delay(netlist, lib, id);
+        for &f in netlist.node(id).fanin() {
+            let r_in = r_here - d;
+            if r_in < required[f.index()] {
+                required[f.index()] = r_in;
+            }
+        }
+    }
+    // Nets with no timed fan-out (dangling logic) get full-period slack.
+    for r in required.iter_mut() {
+        if !r.is_finite() {
+            *r = clock_period_ns;
+        }
+    }
+
+    // Critical path: trace back from the worst endpoint along the
+    // max-arrival fan-in.
+    let mut critical_path = Vec::new();
+    if let Some(mut cur) = worst_endpoint {
+        loop {
+            critical_path.push(cur);
+            let node = netlist.node(cur);
+            if !node.is_combinational() {
+                break;
+            }
+            let Some(&prev) = node
+                .fanin()
+                .iter()
+                .max_by(|a, b| arrival[a.index()].total_cmp(&arrival[b.index()]))
+            else {
+                break;
+            };
+            cur = prev;
+        }
+        critical_path.reverse();
+    }
+
+    TimingAnalysis {
+        arrival,
+        required,
+        critical_path,
+        clock_period_ns,
+        worst_endpoint,
+    }
+}
+
+/// Relative performance degradation (%) of `hybrid` against `baseline`:
+/// the Table I metric. Zero when the hybrid meets the baseline period
+/// (LUTs landed off the critical path); never negative.
+pub fn performance_degradation_pct(baseline: &TimingAnalysis, hybrid: &TimingAnalysis) -> f64 {
+    if baseline.clock_period_ns <= 0.0 {
+        return 0.0;
+    }
+    let delta = hybrid.clock_period_ns - baseline.clock_period_ns;
+    (delta / baseline.clock_period_ns * 100.0).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sttlock_netlist::{GateKind, NetlistBuilder};
+
+    fn lib() -> Library {
+        Library::predictive_90nm()
+    }
+
+    /// in → g1(NAND2) → g2(XOR2) → out, plus a fast side branch.
+    fn two_stage() -> Netlist {
+        let mut b = NetlistBuilder::new("m");
+        b.input("a");
+        b.input("c");
+        b.gate("g1", GateKind::Nand, &["a", "c"]);
+        b.gate("g2", GateKind::Xor, &["g1", "a"]);
+        b.gate("fast", GateKind::Buf, &["a"]);
+        b.output("g2");
+        b.output("fast");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn arrival_accumulates_along_chain() {
+        let n = two_stage();
+        let l = lib();
+        let t = analyze(&n, &l);
+        let d_nand = l.gate(GateKind::Nand, 2).delay_ns;
+        let d_xor = l.gate(GateKind::Xor, 2).delay_ns;
+        assert!((t.arrival_ns(n.find("g1").unwrap()) - d_nand).abs() < 1e-12);
+        assert!((t.arrival_ns(n.find("g2").unwrap()) - (d_nand + d_xor)).abs() < 1e-12);
+        assert!((t.clock_period_ns() - (d_nand + d_xor)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_is_the_slow_chain() {
+        let n = two_stage();
+        let t = analyze(&n, &lib());
+        let names: Vec<&str> = t
+            .critical_path()
+            .iter()
+            .map(|&id| n.node_name(id))
+            .collect();
+        // Both inputs arrive at t=0, so either can start the path.
+        assert!(names == vec!["a", "g1", "g2"] || names == vec!["c", "g1", "g2"]);
+        assert_eq!(t.worst_endpoint(), n.find("g2"));
+    }
+
+    #[test]
+    fn off_critical_gates_have_slack() {
+        let n = two_stage();
+        let t = analyze(&n, &lib());
+        assert!(t.slack_ns(n.find("fast").unwrap()) > 0.0);
+        assert!(t.slack_ns(n.find("g2").unwrap()).abs() < 1e-12);
+        assert!(t.slack_ns(n.find("g1").unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_period_includes_clk_to_q_and_setup() {
+        let mut b = NetlistBuilder::new("m");
+        b.input("a");
+        b.gate("g", GateKind::Nand, &["q", "a"]);
+        b.dff("q", "g");
+        b.output("q");
+        let n = b.finish().unwrap();
+        let l = lib();
+        let t = analyze(&n, &l);
+        let expect = l.dff().clk_to_q_ns + l.gate(GateKind::Nand, 2).delay_ns + l.dff().setup_ns;
+        assert!((t.clock_period_ns() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lut_replacement_slows_its_path() {
+        let n = two_stage();
+        let l = lib();
+        let base = analyze(&n, &l);
+        let mut hybrid = n.clone();
+        hybrid
+            .replace_gate_with_lut(hybrid.find("g1").unwrap())
+            .unwrap();
+        let after = analyze(&hybrid, &l);
+        assert!(after.clock_period_ns() > base.clock_period_ns());
+        let deg = performance_degradation_pct(&base, &after);
+        assert!(deg > 0.0, "degradation {deg}");
+    }
+
+    #[test]
+    fn redacted_and_programmed_views_time_identically() {
+        let mut n = two_stage();
+        n.replace_gate_with_lut(n.find("g1").unwrap()).unwrap();
+        let (stripped, _) = n.redact();
+        let l = lib();
+        assert_eq!(
+            analyze(&n, &l).clock_period_ns(),
+            analyze(&stripped, &l).clock_period_ns()
+        );
+    }
+
+    #[test]
+    fn off_path_lut_costs_nothing() {
+        // Slow chain of four XORs (~0.24 ns) dominates even after the
+        // fast side buffer becomes a ~0.22 ns LUT.
+        let mut b = NetlistBuilder::new("m");
+        b.input("a");
+        b.input("c");
+        b.gate("x1", GateKind::Xor, &["a", "c"]);
+        b.gate("x2", GateKind::Xor, &["x1", "c"]);
+        b.gate("x3", GateKind::Xor, &["x2", "c"]);
+        b.gate("x4", GateKind::Xor, &["x3", "c"]);
+        b.gate("fast", GateKind::Buf, &["a"]);
+        b.output("x4");
+        b.output("fast");
+        let n = b.finish().unwrap();
+        let l = lib();
+        let base = analyze(&n, &l);
+        let mut hybrid = n.clone();
+        hybrid
+            .replace_gate_with_lut(hybrid.find("fast").unwrap())
+            .unwrap();
+        let after = analyze(&hybrid, &l);
+        assert!(l.lut(1).delay_ns < base.clock_period_ns());
+        assert_eq!(performance_degradation_pct(&base, &after), 0.0);
+    }
+
+    #[test]
+    fn degradation_never_negative() {
+        let n = two_stage();
+        let l = lib();
+        let t = analyze(&n, &l);
+        assert_eq!(performance_degradation_pct(&t, &t), 0.0);
+    }
+}

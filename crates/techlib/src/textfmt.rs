@@ -1,0 +1,280 @@
+//! A plain-text technology-library exchange format.
+//!
+//! Lets teams characterize their own CMOS cells and STT LUTs (the paper
+//! passes "the STT technology library information" into the flow,
+//! Figure 2) without recompiling:
+//!
+//! ```text
+//! # sttlock technology library v1
+//! library my_90nm
+//! clock_ghz 1.0
+//! dff clk_to_q 0.080 setup 0.040 energy 6.0 leakage 10.0 area 18.0
+//! cell NAND 2 delay 0.030 energy 1.6 leakage 4.0 area 4.2
+//! lut 2 delay 0.222 cycle_energy 1.92 microbench_energy 12.8 \
+//!       standby 1.66 area 12.4 write_energy 0.45 write_latency 40
+//! ```
+//!
+//! `cell` lines override the built-in analytic CMOS model per
+//! (kind, fan-in); unlisted cells fall back to it. `lut` lines replace
+//! the calibrated STT parameters for that fan-in. Fields within a line
+//! may appear in any order; `\` does **not** continue lines (the example
+//! above is wrapped for the docs only).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use sttlock_netlist::GateKind;
+
+use crate::cmos::{CellParams, CmosLibrary, DffParams};
+use crate::stt::{LutParams, SttLibrary};
+use crate::Library;
+
+/// Errors from [`parse_library`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseLibraryError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseLibraryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "library parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseLibraryError {}
+
+/// Serializes a library, materializing the analytic CMOS model for
+/// fan-ins 1–4 so the file is self-contained.
+pub fn write_library(lib: &Library) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("# sttlock technology library v1\n");
+    let _ = writeln!(out, "library exported");
+    let _ = writeln!(out, "clock_ghz {}", lib.clock_ghz());
+    let ff = lib.dff();
+    let _ = writeln!(
+        out,
+        "dff clk_to_q {} setup {} energy {} leakage {} area {}",
+        ff.clk_to_q_ns, ff.setup_ns, ff.clock_energy_fj, ff.leakage_nw, ff.area_um2
+    );
+    for kind in GateKind::ALL {
+        let fanins: &[usize] = if kind.is_unary() { &[1] } else { &[2, 3, 4] };
+        for &fanin in fanins {
+            let p = lib.gate(kind, fanin);
+            let _ = writeln!(
+                out,
+                "cell {} {} delay {} energy {} leakage {} area {}",
+                kind.bench_keyword(),
+                fanin,
+                p.delay_ns,
+                p.switch_energy_fj,
+                p.leakage_nw,
+                p.area_um2
+            );
+        }
+    }
+    for fanin in 1..=6usize {
+        let l = lib.lut(fanin);
+        let _ = writeln!(
+            out,
+            "lut {} delay {} cycle_energy {} microbench_energy {} standby {} area {} write_energy {} write_latency {}",
+            fanin,
+            l.delay_ns,
+            l.cycle_energy_fj,
+            l.microbench_cycle_energy_fj,
+            l.standby_nw,
+            l.area_um2,
+            l.write_energy_per_bit_pj,
+            l.write_latency_ns
+        );
+    }
+    out
+}
+
+/// Parses a library file. Unlisted CMOS cells use the analytic model;
+/// unlisted LUT fan-ins keep the Figure-1-calibrated defaults.
+///
+/// # Errors
+///
+/// Returns [`ParseLibraryError`] with the offending line for malformed
+/// input.
+pub fn parse_library(text: &str) -> Result<Library, ParseLibraryError> {
+    let mut clock_ghz = 1.0f64;
+    let mut dff: Option<DffParams> = None;
+    let mut overrides: HashMap<(GateKind, usize), CellParams> = HashMap::new();
+    let mut luts: HashMap<usize, LutParams> = HashMap::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| ParseLibraryError { line: lineno + 1, message };
+        let mut words = line.split_whitespace();
+        match words.next().expect("nonempty line has a word") {
+            "library" => {} // informative only
+            "clock_ghz" => {
+                clock_ghz = words
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err("clock_ghz needs a number".into()))?;
+            }
+            "dff" => {
+                let f = parse_fields(words, &mut |_| true)
+                    .map_err(|m| err(m))?;
+                dff = Some(DffParams {
+                    clk_to_q_ns: field(&f, "clk_to_q").map_err(|m| err(m))?,
+                    setup_ns: field(&f, "setup").map_err(|m| err(m))?,
+                    clock_energy_fj: field(&f, "energy").map_err(|m| err(m))?,
+                    leakage_nw: field(&f, "leakage").map_err(|m| err(m))?,
+                    area_um2: field(&f, "area").map_err(|m| err(m))?,
+                });
+            }
+            "cell" => {
+                let kind_word = words.next().ok_or_else(|| err("cell needs a kind".into()))?;
+                let kind = GateKind::from_bench_keyword(kind_word)
+                    .ok_or_else(|| err(format!("unknown cell kind `{kind_word}`")))?;
+                let fanin: usize = words
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err("cell needs a fan-in".into()))?;
+                if !kind.arity_ok(fanin) {
+                    return Err(err(format!("{kind} cannot have fan-in {fanin}")));
+                }
+                let f = parse_fields(words, &mut |_| true).map_err(|m| err(m))?;
+                overrides.insert(
+                    (kind, fanin),
+                    CellParams {
+                        delay_ns: field(&f, "delay").map_err(|m| err(m))?,
+                        switch_energy_fj: field(&f, "energy").map_err(|m| err(m))?,
+                        leakage_nw: field(&f, "leakage").map_err(|m| err(m))?,
+                        area_um2: field(&f, "area").map_err(|m| err(m))?,
+                    },
+                );
+            }
+            "lut" => {
+                let fanin: usize = words
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err("lut needs a fan-in".into()))?;
+                if !(1..=6).contains(&fanin) {
+                    return Err(err(format!("lut fan-in {fanin} outside 1..=6")));
+                }
+                let f = parse_fields(words, &mut |_| true).map_err(|m| err(m))?;
+                luts.insert(
+                    fanin,
+                    LutParams {
+                        fanin,
+                        delay_ns: field(&f, "delay").map_err(|m| err(m))?,
+                        cycle_energy_fj: field(&f, "cycle_energy").map_err(|m| err(m))?,
+                        microbench_cycle_energy_fj: field(&f, "microbench_energy")
+                            .map_err(|m| err(m))?,
+                        standby_nw: field(&f, "standby").map_err(|m| err(m))?,
+                        area_um2: field(&f, "area").map_err(|m| err(m))?,
+                        write_energy_per_bit_pj: field(&f, "write_energy").map_err(|m| err(m))?,
+                        write_latency_ns: field(&f, "write_latency").map_err(|m| err(m))?,
+                    },
+                );
+            }
+            other => return Err(err(format!("unknown directive `{other}`"))),
+        }
+    }
+
+    let cmos = CmosLibrary::with_overrides(
+        dff.unwrap_or_else(|| CmosLibrary::predictive_90nm().dff()),
+        overrides,
+    );
+    let stt = SttLibrary::calibrated(&cmos).with_overrides(luts);
+    Ok(Library::new(cmos, stt, clock_ghz))
+}
+
+fn parse_fields<'a>(
+    words: impl Iterator<Item = &'a str>,
+    accept: &mut impl FnMut(&str) -> bool,
+) -> Result<HashMap<String, f64>, String> {
+    let mut out = HashMap::new();
+    let mut it = words.peekable();
+    while let Some(key) = it.next() {
+        if !accept(key) {
+            return Err(format!("unexpected field `{key}`"));
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("field `{key}` needs a value"))?;
+        let v: f64 = value
+            .parse()
+            .map_err(|_| format!("field `{key}` expects a number, got `{value}`"))?;
+        out.insert(key.to_owned(), v);
+    }
+    Ok(out)
+}
+
+fn field(fields: &HashMap<String, f64>, key: &str) -> Result<f64, String> {
+    fields
+        .get(key)
+        .copied()
+        .ok_or_else(|| format!("missing field `{key}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_default_library() {
+        let lib = Library::predictive_90nm();
+        let text = write_library(&lib);
+        let back = parse_library(&text).expect("own output parses");
+        assert_eq!(back.clock_ghz(), lib.clock_ghz());
+        for kind in GateKind::ALL {
+            let fanins: &[usize] = if kind.is_unary() { &[1] } else { &[2, 3, 4] };
+            for &f in fanins {
+                assert_eq!(back.gate(kind, f), lib.gate(kind, f), "{kind}{f}");
+            }
+        }
+        for f in 1..=6 {
+            assert_eq!(back.lut(f), lib.lut(f), "lut{f}");
+        }
+        assert_eq!(back.dff(), lib.dff());
+    }
+
+    #[test]
+    fn partial_files_fall_back_to_the_analytic_model() {
+        let text = "clock_ghz 2.0\ncell NAND 2 delay 0.05 energy 2.0 leakage 5.0 area 5.0\n";
+        let lib = parse_library(text).unwrap();
+        assert_eq!(lib.clock_ghz(), 2.0);
+        assert_eq!(lib.gate(GateKind::Nand, 2).delay_ns, 0.05);
+        // Unlisted cells use the analytic default.
+        let default = Library::predictive_90nm();
+        assert_eq!(lib.gate(GateKind::Xor, 2), default.gate(GateKind::Xor, 2));
+        assert_eq!(lib.dff(), default.dff());
+    }
+
+    #[test]
+    fn comments_and_field_order_are_flexible() {
+        let text = "# header\nlut 2 area 10 delay 0.3 standby 1.0 cycle_energy 2.0 \
+                    microbench_energy 13.0 write_latency 40 write_energy 0.5 # inline\n";
+        let lib = parse_library(text).unwrap();
+        assert_eq!(lib.lut(2).delay_ns, 0.3);
+        assert_eq!(lib.lut(2).area_um2, 10.0);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_library("clock_ghz 1.0\nbogus directive\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_library("cell FROB 2 delay 1 energy 1 leakage 1 area 1\n").unwrap_err();
+        assert!(e.message.contains("FROB"));
+        let e = parse_library("lut 9 delay 1\n").unwrap_err();
+        assert!(e.message.contains("1..=6"));
+    }
+
+    #[test]
+    fn missing_fields_are_reported() {
+        let e = parse_library("cell NAND 2 delay 0.05\n").unwrap_err();
+        assert!(e.message.contains("energy"));
+    }
+}

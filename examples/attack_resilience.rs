@@ -1,0 +1,92 @@
+//! Attack resilience, measured: run the executable attacks of
+//! `sttlock-attack` against hybrids produced by each selection
+//! algorithm and compare with the paper's analytic estimates.
+//!
+//! * The **sensitization (testing) attack** fully recovers independent
+//!   missing gates and stalls on dependent ones — Section IV-A.1/A.2.
+//! * The **oracle-guided SAT attack** breaks everything *if* scan access
+//!   is open (full-scan model), with effort growing in the key width —
+//!   which is why the paper locks the scan chain in fielded parts.
+//!
+//! ```text
+//! cargo run --example attack_resilience
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sttlock::attack::sat_attack::{self, SatAttackConfig};
+use sttlock::attack::sensitization::{self, SensitizationConfig};
+use sttlock::benchgen::Profile;
+use sttlock::core::{Flow, SelectionAlgorithm};
+use sttlock::techlib::Library;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small circuit keeps the SAT attack demo fast; the scaling bench
+    // (`cargo bench -p sttlock-bench --bench sat_attack`) covers growth.
+    let profile = Profile::custom("target", 180, 8, 10, 8);
+    let netlist = profile.generate(&mut StdRng::seed_from_u64(3));
+    let flow = Flow::new(Library::predictive_90nm());
+
+    println!("attack target: {netlist}");
+    println!();
+    println!(
+        "{:<18} {:>6} | {:>10} {:>12} | {:>8} {:>10} | {:>12}",
+        "selection", "#LUT", "sens.break", "rows solved", "SAT dips", "conflicts", "est. clocks"
+    );
+    println!("{}", "-".repeat(92));
+
+    for alg in SelectionAlgorithm::ALL {
+        let out = flow.run(&netlist, alg, 42)?;
+        let redacted = out.foundry_view();
+
+        // Testing attack (no scan needed beyond the frame model).
+        let mut rng = StdRng::seed_from_u64(17);
+        let sens = sensitization::run(
+            &redacted,
+            &out.hybrid,
+            &SensitizationConfig { patterns_per_gate: 256, sat_justification: true },
+            &mut rng,
+        )?;
+
+        // SAT attack under the full-scan assumption.
+        let sat = sat_attack::run(&redacted, &out.hybrid, &SatAttackConfig::default())?;
+
+        let estimate = match alg {
+            SelectionAlgorithm::Independent => out.report.security.n_indep,
+            SelectionAlgorithm::Dependent => out.report.security.n_dep,
+            SelectionAlgorithm::ParametricAware => out.report.security.n_bf,
+        };
+        println!(
+            "{:<18} {:>6} | {:>10} {:>11.0}% | {:>8} {:>10} | {:>12}",
+            alg.to_string(),
+            out.report.stt_count,
+            if sens.is_full_break() { "YES" } else { "no" },
+            sens.resolution_ratio() * 100.0,
+            sat.dips,
+            sat.solver_stats.conflicts,
+            estimate
+        );
+
+        if alg == SelectionAlgorithm::Independent {
+            assert!(
+                sens.resolution_ratio() > 0.5,
+                "independent selection should largely fall to the testing attack, got {:.0}%",
+                sens.resolution_ratio() * 100.0
+            );
+        }
+        if let Some(bits) = &sat.bitstream {
+            let mut rng = StdRng::seed_from_u64(23);
+            let mismatches =
+                sat_attack::verify_bitstream(&redacted, &out.hybrid, bits, 32, &mut rng)?;
+            assert_eq!(mismatches, 0, "SAT-recovered keys must be functionally exact");
+        }
+    }
+
+    println!();
+    println!("Reading: the testing attack resolves independent LUTs but stalls once missing");
+    println!("gates feed missing gates; the SAT attack wins only because this model grants");
+    println!("full scan access — the deployed defense locks the scan chain, leaving the");
+    println!("attacker the estimated clock counts in the last column (Equations 1-3).");
+    Ok(())
+}

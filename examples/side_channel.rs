@@ -1,0 +1,89 @@
+//! The side-channel claim of Section II, measured: STT-LUT power is
+//! "almost insensitive to its input changes", so moving logic into LUTs
+//! flattens the data-dependent component of the power trace.
+//!
+//! This example traces per-cycle energy of a CMOS design and of
+//! progressively more LUT-converted hybrids under the same stimulus and
+//! reports the coefficient of variation — the signal a power
+//! side-channel attacker correlates against.
+//!
+//! ```text
+//! cargo run --example side_channel
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sttlock::benchgen::Profile;
+use sttlock::core::{Flow, SelectionAlgorithm};
+use sttlock::power::trace::{data_dependent_nodes, random_trace};
+use sttlock::techlib::Library;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = Profile::custom("sc_target", 200, 8, 10, 8);
+    let netlist = profile.generate(&mut StdRng::seed_from_u64(5));
+    let lib = Library::predictive_90nm();
+    const CYCLES: usize = 2000;
+
+    println!("power side-channel profile over {CYCLES} random cycles");
+    println!();
+    println!(
+        "{:<22} {:>8} {:>12} {:>12} {:>10}",
+        "design", "#LUT", "mean fJ/cyc", "sigma fJ", "sigma/mean"
+    );
+    println!("{}", "-".repeat(68));
+
+    // Baseline CMOS.
+    let mut rng = StdRng::seed_from_u64(99);
+    let base = random_trace(&netlist, &lib, CYCLES, &mut rng)?;
+    println!(
+        "{:<22} {:>8} {:>12.1} {:>12.2} {:>10.4}",
+        "pure CMOS",
+        0,
+        base.mean(),
+        base.variance().sqrt(),
+        base.relative_spread()
+    );
+
+    // Hybrids with growing LUT budgets.
+    let mut flow = Flow::new(lib.clone());
+    for budget in [5usize, 20, 60] {
+        flow.selection.independent_gates = budget;
+        let out = flow.run(&netlist, SelectionAlgorithm::Independent, 42)?;
+        let mut rng = StdRng::seed_from_u64(99);
+        let t = random_trace(&out.hybrid, &lib, CYCLES, &mut rng)?;
+        println!(
+            "{:<22} {:>8} {:>12.1} {:>12.2} {:>10.4}",
+            format!("hybrid ({budget} LUTs)"),
+            out.report.stt_count,
+            t.mean(),
+            t.variance().sqrt(),
+            t.relative_spread()
+        );
+    }
+
+    // The limit case: every gate becomes a LUT → zero data dependence.
+    let mut all_lut = netlist.clone();
+    let gates: Vec<_> = data_dependent_nodes(&netlist);
+    for id in gates {
+        if all_lut.node(id).fanin().len() <= 6 {
+            all_lut.replace_gate_with_lut(id)?;
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(99);
+    let t = random_trace(&all_lut, &lib, CYCLES, &mut rng)?;
+    println!(
+        "{:<22} {:>8} {:>12.1} {:>12.2} {:>10.4}",
+        "all-LUT (limit)",
+        all_lut.lut_count(),
+        t.mean(),
+        t.variance().sqrt(),
+        t.relative_spread()
+    );
+
+    println!();
+    println!("sigma/mean is the attacker's correlation signal: every gate moved into an");
+    println!("STT-LUT removes its data-dependent switching energy from the trace, and the");
+    println!("all-LUT limit is perfectly flat (zero variance), as the paper argues.");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! # sttlock — hybrid STT-CMOS design-for-assurance toolkit
+//!
+//! `sttlock` is a from-scratch reproduction of *"Hybrid STT-CMOS Designs
+//! for Reverse-engineering Prevention"* (Winograd, Salmani, Mahmoodi, Gaj,
+//! Homayoun — DAC 2016). It replaces selected CMOS gates of a gate-level
+//! netlist with non-volatile STT-MRAM look-up tables whose contents are
+//! programmed after fabrication, so an untrusted foundry cannot reverse
+//! engineer or overproduce the design.
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! * [`netlist`] — gate-level netlist model, graph algorithms, `.bench`
+//!   and structural-Verilog I/O.
+//! * [`techlib`] — 90 nm-class CMOS cell models and the STT-LUT technology
+//!   model (Figure 1 of the paper).
+//! * [`sim`] — bit-parallel logic simulation and switching-activity
+//!   estimation.
+//! * [`sta`] — static timing analysis (clock period, critical path,
+//!   slack).
+//! * [`power`] — power and area analysis and overhead reports.
+//! * [`benchgen`] — ISCAS '89-profile synthetic benchmark generator.
+//! * [`sat`] — a CDCL SAT solver and netlist-to-CNF encoding.
+//! * [`attack`] — sensitization and oracle-guided SAT attacks, plus the
+//!   paper's analytic security estimators (Equations 1–3).
+//! * [`core`] — the paper's contribution: the independent, dependent and
+//!   parametric-aware selection algorithms and the security-driven flow.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sttlock::benchgen::profiles;
+//! use sttlock::core::{Flow, SelectionAlgorithm};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = profiles::by_name("s641")
+//!     .expect("known profile")
+//!     .generate(&mut rand::rngs::StdRng::seed_from_u64(1));
+//! let flow = Flow::new(sttlock::techlib::Library::predictive_90nm());
+//! let outcome = flow.run(&circuit, SelectionAlgorithm::ParametricAware, 42)?;
+//! println!(
+//!     "{} LUTs, {:.2}% power overhead",
+//!     outcome.report.stt_count, outcome.report.power_overhead_pct
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use sttlock_attack as attack;
+pub use sttlock_benchgen as benchgen;
+pub use sttlock_core as core;
+pub use sttlock_netlist as netlist;
+pub use sttlock_opt as opt;
+pub use sttlock_power as power;
+pub use sttlock_sat as sat;
+pub use sttlock_sim as sim;
+pub use sttlock_sta as sta;
+pub use sttlock_techlib as techlib;

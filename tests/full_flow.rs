@@ -1,0 +1,106 @@
+//! End-to-end flow integration: every selection algorithm on several
+//! benchmark profiles must yield a hybrid netlist that is functionally
+//! identical to the original, redacts cleanly, and reports sane numbers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sttlock::benchgen::profiles;
+use sttlock::core::{Flow, SelectionAlgorithm};
+use sttlock::sim::Simulator;
+use sttlock::techlib::Library;
+
+fn assert_equivalent(a: &sttlock::netlist::Netlist, b: &sttlock::netlist::Netlist, seed: u64) {
+    let mut sa = Simulator::new(a).expect("original simulates");
+    let mut sb = Simulator::new(b).expect("hybrid simulates");
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..128 {
+        let pattern: Vec<u64> = (0..a.inputs().len()).map(|_| rng.gen()).collect();
+        assert_eq!(
+            sa.step(&pattern).unwrap(),
+            sb.step(&pattern).unwrap(),
+            "hybrid diverged from original"
+        );
+    }
+}
+
+#[test]
+fn all_algorithms_preserve_function_on_small_benchmarks() {
+    let flow = Flow::new(Library::predictive_90nm());
+    for profile in profiles::up_to(600) {
+        let netlist = profile.generate(&mut StdRng::seed_from_u64(11));
+        for alg in SelectionAlgorithm::ALL {
+            let out = flow
+                .run(&netlist, alg, 7)
+                .unwrap_or_else(|e| panic!("{}/{alg}: {e}", profile.name));
+            assert!(out.report.stt_count > 0, "{}/{alg}: no LUTs", profile.name);
+            assert_eq!(out.hybrid.lut_count(), out.report.stt_count);
+            assert_equivalent(&netlist, &out.hybrid, 13);
+        }
+    }
+}
+
+#[test]
+fn foundry_view_leaks_no_configuration() {
+    let flow = Flow::new(Library::predictive_90nm());
+    let profile = profiles::by_name("s953").unwrap();
+    let netlist = profile.generate(&mut StdRng::seed_from_u64(5));
+    let out = flow
+        .run(&netlist, SelectionAlgorithm::ParametricAware, 3)
+        .expect("flow runs");
+    let foundry = out.foundry_view();
+    for id in foundry.node_ids() {
+        assert!(foundry.lut_config(id).is_none(), "config leaked to foundry");
+    }
+    // Programming the foundry view with the bitstream restores the part.
+    let mut programmed = foundry;
+    programmed.program(&out.bitstream);
+    assert_equivalent(&netlist, &programmed, 29);
+}
+
+#[test]
+fn reports_are_internally_consistent() {
+    let flow = Flow::new(Library::predictive_90nm());
+    let profile = profiles::by_name("s1196").unwrap();
+    let netlist = profile.generate(&mut StdRng::seed_from_u64(5));
+    for alg in SelectionAlgorithm::ALL {
+        let out = flow.run(&netlist, alg, 9).expect("flow runs");
+        let r = &out.report;
+        assert!(r.performance_degradation_pct >= 0.0);
+        assert!(r.power_overhead_pct > 0.0, "{alg}: LUTs draw extra power");
+        assert!(r.area_overhead_pct > 0.0, "{alg}: LUTs are bigger than cells");
+        assert_eq!(out.bitstream.len(), r.stt_count);
+        assert!(r.security.n_dep.log10() >= 0.0);
+    }
+}
+
+#[test]
+fn parametric_budget_is_respected() {
+    let mut flow = Flow::new(Library::predictive_90nm());
+    flow.selection.timing_budget_pct = 3.0;
+    for profile in profiles::up_to(600).into_iter().take(3) {
+        let netlist = profile.generate(&mut StdRng::seed_from_u64(17));
+        let out = flow
+            .run(&netlist, SelectionAlgorithm::ParametricAware, 21)
+            .expect("flow runs");
+        assert!(
+            out.report.performance_degradation_pct <= 3.0 + 1e-6,
+            "{}: {}% exceeds the 3% budget",
+            profile.name,
+            out.report.performance_degradation_pct
+        );
+    }
+}
+
+#[test]
+fn security_ordering_matches_figure_3() {
+    let flow = Flow::new(Library::predictive_90nm());
+    let profile = profiles::by_name("s1238").unwrap();
+    let netlist = profile.generate(&mut StdRng::seed_from_u64(23));
+    let indep = flow.run(&netlist, SelectionAlgorithm::Independent, 1).unwrap();
+    let dep = flow.run(&netlist, SelectionAlgorithm::Dependent, 1).unwrap();
+    let para = flow.run(&netlist, SelectionAlgorithm::ParametricAware, 1).unwrap();
+    // Equation 1 is linear; Equations 2-3 are products/exponentials.
+    assert!(dep.report.security.n_dep.log10() > indep.report.security.n_indep.log10());
+    assert!(para.report.security.n_bf.log10() > indep.report.security.n_indep.log10());
+}

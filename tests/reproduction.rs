@@ -1,0 +1,149 @@
+//! The paper's evaluation *shapes*, enforced as tests: if a change to
+//! the models or algorithms breaks one of the published trends, this
+//! suite — not a human reading the harness output — catches it.
+//!
+//! Runs on the small benchmark profiles so `cargo test` stays fast; the
+//! full-suite numbers live in EXPERIMENTS.md.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sttlock::attack::alpha;
+use sttlock::benchgen::profiles;
+use sttlock::core::{Flow, SelectionAlgorithm};
+use sttlock::netlist::GateKind;
+use sttlock::techlib::{fig1, Library};
+
+/// Figure 1: the calibrated model reproduces the published technology
+/// trends.
+#[test]
+fn fig1_trends_hold_in_the_calibrated_model() {
+    let lib = Library::predictive_90nm();
+    for e in fig1::PUBLISHED {
+        let cell = lib.gate(e.kind, e.fanin);
+        let lut = lib.lut(e.fanin);
+        // LUT is slower than the cell it replaces…
+        assert!(lut.delay_ns > cell.delay_ns, "{}{}", e.kind, e.fanin);
+        // …within 2x of the published ratio.
+        let derived = lut.delay_ns / cell.delay_ns;
+        assert!(
+            derived / e.delay < 2.0 && e.delay / derived < 2.0,
+            "{}{}: derived {derived:.2} vs published {}",
+            e.kind,
+            e.fanin,
+            e.delay
+        );
+    }
+    // Delay overhead shrinks with gate complexity (NAND2 → NAND4).
+    let r2 = lib.lut(2).delay_ns / lib.gate(GateKind::Nand, 2).delay_ns;
+    let r4 = lib.lut(4).delay_ns / lib.gate(GateKind::Nand, 4).delay_ns;
+    assert!(r4 < r2, "complexity must shrink the LUT overhead: {r2:.2} -> {r4:.2}");
+}
+
+/// Table I: algorithm ordering and size trends on the four smallest and
+/// one mid-size profile.
+#[test]
+fn table1_shape_holds() {
+    let flow = Flow::new(Library::predictive_90nm());
+    let mut dep_perf_sum = 0.0;
+    let mut indep_perf_sum = 0.0;
+    let mut para_perf_max: f64 = 0.0;
+    let mut small_indep_power = None;
+    let mut large_indep_power = None;
+
+    for profile in profiles::up_to(3000) {
+        let netlist = profile.generate(&mut StdRng::seed_from_u64(42));
+        let indep = flow.run(&netlist, SelectionAlgorithm::Independent, 42).unwrap();
+        let dep = flow.run(&netlist, SelectionAlgorithm::Dependent, 42).unwrap();
+        let para = flow.run(&netlist, SelectionAlgorithm::ParametricAware, 42).unwrap();
+
+        // Independent always inserts exactly 5 LUTs (the paper's setup).
+        assert_eq!(indep.report.stt_count, 5, "{}", profile.name);
+        indep_perf_sum += indep.report.performance_degradation_pct;
+        dep_perf_sum += dep.report.performance_degradation_pct;
+        para_perf_max = para_perf_max.max(para.report.performance_degradation_pct);
+
+        if profile.name == "s641" {
+            small_indep_power = Some(indep.report.power_overhead_pct);
+        }
+        if profile.name == "s5378a" {
+            large_indep_power = Some(indep.report.power_overhead_pct);
+        }
+    }
+
+    // Dependent selection costs the most performance on average.
+    assert!(
+        dep_perf_sum > indep_perf_sum,
+        "dependent ({dep_perf_sum:.1}) must degrade more than independent ({indep_perf_sum:.1})"
+    );
+    // Parametric-aware stays within its (default 5 %) budget everywhere.
+    assert!(para_perf_max <= 5.0 + 1e-6, "parametric max {para_perf_max:.2}%");
+    // Overheads shrink with circuit size (fixed 5 LUTs dilute).
+    let (small, large) = (small_indep_power.unwrap(), large_indep_power.unwrap());
+    assert!(
+        large < small,
+        "independent power overhead must shrink with size: s641 {small:.2}% vs s5378a {large:.2}%"
+    );
+}
+
+/// Figure 3: the three equations keep their ordering and their growth
+/// character (linear / product / exponential).
+#[test]
+fn fig3_shape_holds() {
+    let flow = Flow::new(Library::predictive_90nm());
+    let mut bf_values = Vec::new();
+    for name in ["s641", "s1238", "s5378a"] {
+        let profile = profiles::by_name(name).unwrap();
+        let netlist = profile.generate(&mut StdRng::seed_from_u64(42));
+        let indep = flow.run(&netlist, SelectionAlgorithm::Independent, 42).unwrap();
+        let dep = flow.run(&netlist, SelectionAlgorithm::Dependent, 42).unwrap();
+        let para = flow.run(&netlist, SelectionAlgorithm::ParametricAware, 42).unwrap();
+
+        let n_i = indep.report.security.n_indep.log10();
+        let n_d = dep.report.security.n_dep.log10();
+        let n_b = para.report.security.n_bf.log10();
+        // Eq. 1 is a sum of small terms: tens of clocks.
+        assert!(n_i < 3.0, "{name}: N_indep 1e{n_i:.1} should be tiny");
+        // Eqs. 2-3 are products/exponentials: astronomically larger.
+        assert!(n_d > n_i + 3.0, "{name}: N_dep must dwarf N_indep");
+        assert!(n_b > n_i + 2.0, "{name}: N_bf must dwarf N_indep");
+        bf_values.push(n_b);
+    }
+    // N_bf grows with circuit size across the suite (adjacent small
+    // circuits may swap — the paper notes the same randomness-induced
+    // non-monotonicity — but the small-to-large trend must hold).
+    assert!(
+        bf_values.last().unwrap() > bf_values.first().unwrap(),
+        "N_bf must grow from s641 ({:.1}) to s5378a ({:.1})",
+        bf_values[0],
+        bf_values[2]
+    );
+}
+
+/// Table II: selection stays cheap — well under the paper's 1:31 worst
+/// case even on this container, for the mid-size circuits.
+#[test]
+fn table2_shape_holds() {
+    let flow = Flow::new(Library::predictive_90nm());
+    let profile = profiles::by_name("s5378a").unwrap();
+    let netlist = profile.generate(&mut StdRng::seed_from_u64(42));
+    for alg in SelectionAlgorithm::ALL {
+        let out = flow.run(&netlist, alg, 42).unwrap();
+        assert!(
+            out.report.selection_time.as_secs() < 91,
+            "{alg}: {:?} exceeds the paper's worst case",
+            out.report.selection_time
+        );
+    }
+}
+
+/// The α/P constants the estimators use are the paper's.
+#[test]
+fn alpha_constants_match_the_paper() {
+    assert_eq!(alpha::paper_alpha(2), 2.45);
+    assert_eq!(alpha::paper_alpha(3), 4.2);
+    assert_eq!(alpha::paper_alpha(4), 7.4);
+    assert_eq!(alpha::paper_p(2), 2.5);
+    // And the recomputed similarity stays in the published ballpark.
+    assert!((alpha::recomputed_alpha(2) - 2.45).abs() < 0.5);
+}
