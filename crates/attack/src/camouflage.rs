@@ -47,12 +47,7 @@ pub fn meaningful_candidates(fanin: usize) -> Vec<TruthTable> {
 ///
 /// Panics if `id` has no key variables in `enc` (it is not a redacted
 /// LUT of that encoding) or if a candidate's width mismatches.
-pub fn restrict_keys(
-    solver: &mut Solver,
-    enc: &Encoding,
-    id: NodeId,
-    candidates: &[TruthTable],
-) {
+pub fn restrict_keys(solver: &mut Solver, enc: &Encoding, id: NodeId, candidates: &[TruthTable]) {
     let key = enc
         .keys
         .get(&id)
@@ -102,7 +97,11 @@ pub fn search_space_log10(
     let mut camo = 0.0f64;
     let mut lut = 0.0f64;
     for (_, node) in netlist.iter() {
-        if let sttlock_netlist::Node::Lut { fanin, config: None } = node {
+        if let sttlock_netlist::Node::Lut {
+            fanin,
+            config: None,
+        } = node
+        {
             camo += candidates_per_gate(fanin.len()).log10();
             // A k-input LUT hides 2^(2^k) functions: log10 = 2^k·log10 2.
             lut += (1usize << fanin.len()) as f64 * 2f64.log10();

@@ -39,7 +39,9 @@ impl BigEffort {
     /// Panics if `clocks` is not positive.
     pub fn from_clocks(clocks: f64) -> Self {
         assert!(clocks > 0.0, "effort must be positive");
-        BigEffort { log10: clocks.log10() }
+        BigEffort {
+            log10: clocks.log10(),
+        }
     }
 
     /// Effort from a log₁₀ magnitude.
@@ -60,7 +62,9 @@ impl BigEffort {
     /// Multiplies two efforts (adds magnitudes).
     #[must_use]
     pub fn times(self, other: BigEffort) -> BigEffort {
-        BigEffort { log10: self.log10 + other.log10 }
+        BigEffort {
+            log10: self.log10 + other.log10,
+        }
     }
 
     /// Adds two efforts exactly in the log domain.
@@ -71,7 +75,9 @@ impl BigEffort {
         } else {
             (other.log10, self.log10)
         };
-        BigEffort { log10: hi + (1.0 + 10f64.powf(lo - hi)).log10() }
+        BigEffort {
+            log10: hi + (1.0 + 10f64.powf(lo - hi)).log10(),
+        }
     }
 
     /// Wall-clock years at the given application rate (Figure 3 assumes
@@ -111,7 +117,7 @@ pub fn ff_distance_to_output(netlist: &Netlist) -> Vec<Option<u32>> {
         let cost = u32::from(node.is_dff());
         for &f in node.fanin() {
             let nd = d + cost;
-            if dist[f.index()].map_or(true, |old| nd < old) {
+            if dist[f.index()].is_none_or(|old| nd < old) {
                 dist[f.index()] = Some(nd);
                 if cost == 0 {
                     queue.push_front(f);

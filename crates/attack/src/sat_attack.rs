@@ -71,7 +71,11 @@ pub fn run(
     oracle: &Netlist,
     cfg: &SatAttackConfig,
 ) -> Result<SatAttackOutcome, SimError> {
-    assert_eq!(redacted.len(), oracle.len(), "netlists must be the same design");
+    assert_eq!(
+        redacted.len(),
+        oracle.len(),
+        "netlists must be the same design"
+    );
     let mut oracle_sim = Simulator::new(oracle)?;
 
     let mut solver = Solver::new();
@@ -118,7 +122,8 @@ pub fn run(
                 // this frame: constrain each copy with a fresh encoding
                 // whose keys are tied to that copy.
                 for enc in [&e1, &e2] {
-                    let ok = add_io_constraint(&mut solver, redacted, enc, &inputs, &state, &response);
+                    let ok =
+                        add_io_constraint(&mut solver, redacted, enc, &inputs, &state, &response);
                     assert!(ok, "oracle response contradicts the key constraints");
                 }
             }
@@ -150,7 +155,10 @@ pub struct SequentialAttackConfig {
 
 impl Default for SequentialAttackConfig {
     fn default() -> Self {
-        SequentialAttackConfig { frames: 8, max_dips: 10_000 }
+        SequentialAttackConfig {
+            frames: 8,
+            max_dips: 10_000,
+        }
     }
 }
 
@@ -192,7 +200,11 @@ pub fn run_sequential(
     oracle: &Netlist,
     cfg: &SequentialAttackConfig,
 ) -> Result<SequentialAttackOutcome, SimError> {
-    assert_eq!(redacted.len(), oracle.len(), "netlists must be the same design");
+    assert_eq!(
+        redacted.len(),
+        oracle.len(),
+        "netlists must be the same design"
+    );
     let mut oracle_sim = Simulator::new(oracle)?;
     let k = cfg.frames;
 
@@ -206,7 +218,12 @@ pub fn run_sequential(
         for (&a, &b) in u1.inputs[f].iter().zip(&u2.inputs[f]) {
             equal(&mut solver, a, b);
         }
-        pairs.extend(u1.outputs[f].iter().copied().zip(u2.outputs[f].iter().copied()));
+        pairs.extend(
+            u1.outputs[f]
+                .iter()
+                .copied()
+                .zip(u2.outputs[f].iter().copied()),
+        );
     }
     // Keys of the two unrolled copies are internally shared per copy;
     // between copies they stay free.
@@ -424,7 +441,10 @@ mod tests {
     #[test]
     fn sequential_attack_recovers_bounded_equivalent_keys() {
         let (redacted, programmed) = lock(&["g2", "g3"]);
-        let cfg = SequentialAttackConfig { frames: 4, max_dips: 10_000 };
+        let cfg = SequentialAttackConfig {
+            frames: 4,
+            max_dips: 10_000,
+        };
         let out = run_sequential(&redacted, &programmed, &cfg).unwrap();
         let bits = out.bitstream.expect("attack converges on a small design");
         // Bounded guarantee: replay random sequences of <= `frames`
@@ -448,7 +468,10 @@ mod tests {
         // solver works strictly harder for the same key material.
         let (redacted, programmed) = lock(&["g1", "g2", "g3"]);
         let scan = run(&redacted, &programmed, &SatAttackConfig::default()).unwrap();
-        let cfg = SequentialAttackConfig { frames: 6, max_dips: 10_000 };
+        let cfg = SequentialAttackConfig {
+            frames: 6,
+            max_dips: 10_000,
+        };
         let noscan = run_sequential(&redacted, &programmed, &cfg).unwrap();
         assert!(noscan.bitstream.is_some());
         assert!(

@@ -21,10 +21,21 @@
 //! once a gate's table completes, it is programmed into the working
 //! netlist, un-blinding its neighbours.
 //!
+//! When the per-gate stages stall with a *small* residue of mutually
+//! blinding gates (random selection can land two missing gates next to
+//! each other), the attack escalates once more: it enumerates the joint
+//! assignments of the remaining open rows and kills hypotheses with
+//! SAT-found distinguishing patterns until only one oracle-consistent
+//! equivalence class survives. That effort is exponential in the size of
+//! the interdependent cluster — the paper's Equation 2 — so the stage is
+//! bounded ([`MAX_JOINT_GATES`]/[`MAX_JOINT_ROWS`] open rows) and is
+//! skipped for anything larger.
+//!
 //! Against **independent selection** this recovers the missing gates.
 //! Against **dependent selection** the mutual blinding (a missing gate's
 //! inputs driven by missing gates, its output masked by missing gates)
-//! denies the attack a first foothold — the paper's Equation 2 argument,
+//! denies the attack a first foothold, and the dependent cluster is far
+//! too large for joint enumeration — the paper's Equation 2 argument,
 //! here observable as a stalled resolution ratio.
 
 use std::collections::HashMap;
@@ -36,6 +47,18 @@ use sttlock_sat::encode::{assert_some_difference, encode};
 use sttlock_sat::{Lit, SatResult, Solver, Var};
 use sttlock_sim::tri::{Forced, PartialLut, TriSimulator};
 use sttlock_sim::{SimError, Simulator};
+
+/// Most interdependent missing gates the joint stage will take on.
+///
+/// Joint enumeration costs `2^rows` hypotheses (paper Equation 2): fine
+/// for the occasional adjacent pair that random selection produces,
+/// infeasible for a dependent path. Anything above the bound is left
+/// unresolved.
+pub const MAX_JOINT_GATES: usize = 4;
+
+/// Most *open* truth-table rows (summed over the cluster) the joint
+/// stage will enumerate; the hypothesis space is `2^MAX_JOINT_ROWS`.
+pub const MAX_JOINT_ROWS: u32 = 12;
 
 /// Attack configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,9 +86,14 @@ pub struct RecoveredGate {
     pub resolved_rows: u64,
     /// Recovered outputs for the resolved rows.
     pub table_bits: u64,
-    /// Bit `r` set when row `r` was *proven* unobservable — its value
-    /// can never be inferred from (nor influence) the oracle's I/O
-    /// behaviour, so any filler preserves functional equivalence.
+    /// Bit `r` set when row `r` was *proven* uninferable — either no
+    /// pattern can ever sensitize it (its [`table_bits`] bit stays 0),
+    /// or the joint stage found oracle-equivalent hypotheses taking both
+    /// values on it (its [`table_bits`] bit holds one such equivalent
+    /// filler). Either way the emitted table preserves functional
+    /// equivalence.
+    ///
+    /// [`table_bits`]: RecoveredGate::table_bits
     pub dont_care_rows: u64,
     /// LUT fan-in.
     pub fanin: usize,
@@ -266,11 +294,183 @@ pub fn run<R: Rng + ?Sized>(
         }
     }
 
+    // Escalation for a small stalled residue of mutually blinding gates
+    // (Equation 2: exponential in the cluster size, so bounded).
+    if cfg.sat_justification {
+        joint_cluster_stage(redacted, &mut state)?;
+    }
+
     Ok(SensitizationOutcome {
         gates: state.gates,
         test_clocks: state.test_clocks,
         sat_queries: state.sat_queries,
     })
+}
+
+/// Joint resolution of a small residue of interdependent missing gates.
+///
+/// The per-gate stages prove a difference *regardless* of the other
+/// unresolved gates; two missing gates wired into each other's cones can
+/// therefore blind each other permanently. Here the attacker instead
+/// enumerates every joint assignment of the remaining open rows,
+/// SAT-solves for an input distinguishing two surviving hypotheses,
+/// queries the oracle on it, and discards every hypothesis the oracle
+/// contradicts. Single-frame I/O equivalence of concrete netlists is
+/// function equality (transitive), so when the first survivor cannot be
+/// distinguished from any other, the survivors form one equivalence
+/// class: rows on which the class agrees are resolved, the rest can
+/// never be inferred from I/O behaviour and are recorded as don't-cares
+/// filled from a surviving (hence oracle-equivalent) hypothesis.
+///
+/// Effort is `2^rows` hypotheses — the paper's Equation 2 — so the stage
+/// bails out beyond [`MAX_JOINT_GATES`] gates or [`MAX_JOINT_ROWS`] open
+/// rows, which keeps dependent selections out of reach by design.
+fn joint_cluster_stage(redacted: &Netlist, state: &mut AttackState<'_>) -> Result<(), SimError> {
+    let mut incomplete: Vec<NodeId> = state
+        .gates
+        .iter()
+        .filter(|(_, g)| !g.is_complete())
+        .map(|(&id, _)| id)
+        .collect();
+    incomplete.sort_unstable();
+    if incomplete.is_empty() || incomplete.len() > MAX_JOINT_GATES {
+        return Ok(());
+    }
+    // Flat list of (gate, row) coordinates for the open rows; bit `k` of
+    // a hypothesis mask is the output of `slots[k]`.
+    let mut slots: Vec<(NodeId, usize)> = Vec::new();
+    for &id in &incomplete {
+        let g = &state.gates[&id];
+        let open = g.all_rows() & !(g.resolved_rows | g.dont_care_rows);
+        for row in 0..(1usize << g.fanin) {
+            if open & (1 << row) != 0 {
+                slots.push((id, row));
+            }
+        }
+    }
+    if slots.is_empty() || slots.len() as u32 > MAX_JOINT_ROWS {
+        return Ok(());
+    }
+
+    // Base netlist: everything already completed is programmed in.
+    let mut working = redacted.clone();
+    for (&id, g) in &state.gates {
+        if let Some(t) = g.table() {
+            working.set_lut_config(id, t);
+        }
+    }
+
+    // One concrete netlist per joint hypothesis.
+    let candidates: Vec<Netlist> = (0..1u64 << slots.len())
+        .map(|mask| {
+            let mut cand = working.clone();
+            for &id in &incomplete {
+                let g = &state.gates[&id];
+                let mut bits = g.table_bits & g.resolved_rows;
+                for (k, &(gate, row)) in slots.iter().enumerate() {
+                    if gate == id && (mask >> k) & 1 == 1 {
+                        bits |= 1 << row;
+                    }
+                }
+                cand.set_lut_config(id, TruthTable::new(g.fanin, bits));
+            }
+            cand
+        })
+        .collect();
+
+    let mut alive: Vec<usize> = (0..candidates.len()).collect();
+    loop {
+        // Distinguish the first survivor from any other survivor.
+        let mut pattern = None;
+        for &c in alive.iter().skip(1) {
+            state.sat_queries += 1;
+            if let Some(p) = distinguish(&candidates[alive[0]], &candidates[c]) {
+                pattern = Some(p);
+                break;
+            }
+        }
+        let Some((inputs, frame_state)) = pattern else {
+            // No survivor distinguishable from the first: one class.
+            break;
+        };
+        state.oracle_sim.eval_frame(&inputs, &frame_state)?;
+        let oracle_obs = state.oracle_sim.observation();
+        state.test_clocks += 64;
+        alive.retain(|&c| {
+            let mut sim = match Simulator::new(&candidates[c]) {
+                Ok(sim) => sim,
+                Err(_) => return false,
+            };
+            sim.eval_frame(&inputs, &frame_state).is_ok() && sim.observation() == oracle_obs
+        });
+        // The true key survives every query; ≤1 left means converged.
+        if alive.len() <= 1 {
+            break;
+        }
+    }
+    let Some(&witness) = alive.first() else {
+        return Ok(());
+    };
+
+    for (k, &(gate, row)) in slots.iter().enumerate() {
+        let bit = 1u64 << row;
+        let value = (witness as u64 >> k) & 1 == 1;
+        let unanimous = alive.iter().all(|&c| (c as u64 >> k) & 1 == value as u64);
+        let entry = state.gates.get_mut(&gate).expect("tracked");
+        if unanimous {
+            entry.resolved_rows |= bit;
+        } else {
+            // Both values occur in the oracle-equivalent class: the row
+            // is not inferable from I/O behaviour. Record it don't-care,
+            // filled from the witness so the emitted table stays inside
+            // the class.
+            entry.dont_care_rows |= bit;
+        }
+        if value {
+            entry.table_bits |= bit;
+        }
+    }
+    Ok(())
+}
+
+/// SAT-solves for a single (input, state) frame on which two concrete
+/// (fully programmed) netlists produce different observations. `None`
+/// means the two are functionally equivalent.
+fn distinguish(a: &Netlist, b: &Netlist) -> Option<(Vec<u64>, Vec<u64>)> {
+    let mut solver = Solver::new();
+    let ea = encode(a, &mut solver);
+    let eb = encode(b, &mut solver);
+    for (&x, &y) in ea.inputs.iter().zip(&eb.inputs) {
+        tie(&mut solver, x, y);
+    }
+    for ((_, x), (_, y)) in ea.state_inputs.iter().zip(&eb.state_inputs) {
+        tie(&mut solver, *x, *y);
+    }
+    let mut pairs: Vec<(Var, Var)> = ea
+        .outputs
+        .iter()
+        .copied()
+        .zip(eb.outputs.iter().copied())
+        .collect();
+    pairs.extend(
+        ea.next_state
+            .iter()
+            .map(|(_, v)| *v)
+            .zip(eb.next_state.iter().map(|(_, v)| *v)),
+    );
+    assert_some_difference(&mut solver, &pairs);
+    if solver.solve() != SatResult::Sat {
+        return None;
+    }
+    let word = |v: Var| -> u64 {
+        match solver.value(v) {
+            Some(true) => u64::MAX,
+            _ => 0,
+        }
+    };
+    let inputs = ea.inputs.iter().map(|&v| word(v)).collect();
+    let state = ea.state_inputs.iter().map(|(_, v)| word(*v)).collect();
+    Some((inputs, state))
 }
 
 /// Applies one 64-lane pattern: three-valued hypothesis runs on the
@@ -293,7 +493,10 @@ fn try_pattern(
             if id != g && rec.resolved_rows != 0 {
                 sim.set_partial_lut(
                     id,
-                    PartialLut { resolved: rec.resolved_rows, bits: rec.table_bits },
+                    PartialLut {
+                        resolved: rec.resolved_rows,
+                        bits: rec.table_bits,
+                    },
                 );
             }
         }
@@ -309,7 +512,14 @@ fn try_pattern(
 
     let mut sim1 = TriSimulator::new(working);
     with_partials(&mut sim1);
-    sim1.eval_frame(inputs, frame_state, &[Forced { node: g, value: u64::MAX }])?;
+    sim1.eval_frame(
+        inputs,
+        frame_state,
+        &[Forced {
+            node: g,
+            value: u64::MAX,
+        }],
+    )?;
     let obs1 = sim1.observation();
 
     // Lanes where some observation point provably differs regardless of
@@ -490,7 +700,13 @@ mod tests {
     fn breaks_independent_selection() {
         let (redacted, programmed) = independent_case();
         let mut rng = StdRng::seed_from_u64(1);
-        let out = run(&redacted, &programmed, &SensitizationConfig::default(), &mut rng).unwrap();
+        let out = run(
+            &redacted,
+            &programmed,
+            &SensitizationConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         assert!(out.is_full_break(), "ratio {}", out.resolution_ratio());
         // The recovered bitstream reprograms the redacted netlist into a
         // functional equivalent of the oracle.
@@ -509,7 +725,10 @@ mod tests {
     fn stalls_on_dependent_selection() {
         let (redacted, programmed) = dependent_case();
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = SensitizationConfig { patterns_per_gate: 64, sat_justification: false };
+        let cfg = SensitizationConfig {
+            patterns_per_gate: 64,
+            sat_justification: false,
+        };
         let out = run(&redacted, &programmed, &cfg, &mut rng).unwrap();
         // The interior gates g1/g2 are blinded: g1's output difference is
         // masked by the X of g2/g3, and g2's inputs include the X of g1.
@@ -544,7 +763,10 @@ mod tests {
 
         let mut rng = StdRng::seed_from_u64(5);
         // No random stage at all: every row must come from justification.
-        let cfg = SensitizationConfig { patterns_per_gate: 0, sat_justification: true };
+        let cfg = SensitizationConfig {
+            patterns_per_gate: 0,
+            sat_justification: true,
+        };
         let out = run(&redacted, &programmed, &cfg, &mut rng).unwrap();
         assert!(out.is_full_break(), "ratio {}", out.resolution_ratio());
         assert!(out.sat_queries > 0);
@@ -570,7 +792,10 @@ mod tests {
         let (redacted, _) = programmed.redact();
 
         let mut rng = StdRng::seed_from_u64(7);
-        let cfg = SensitizationConfig { patterns_per_gate: 8, sat_justification: true };
+        let cfg = SensitizationConfig {
+            patterns_per_gate: 8,
+            sat_justification: true,
+        };
         let out = run(&redacted, &programmed, &cfg, &mut rng).unwrap();
         assert!(out.is_full_break());
         let rec = &out.gates[&g];
@@ -582,7 +807,10 @@ mod tests {
     fn counts_test_clocks_and_queries() {
         let (redacted, programmed) = independent_case();
         let mut rng = StdRng::seed_from_u64(4);
-        let cfg = SensitizationConfig { patterns_per_gate: 4, sat_justification: true };
+        let cfg = SensitizationConfig {
+            patterns_per_gate: 4,
+            sat_justification: true,
+        };
         let out = run(&redacted, &programmed, &cfg, &mut rng).unwrap();
         assert!(out.test_clocks > 0);
     }

@@ -43,11 +43,9 @@ fn bench_analysis(c: &mut Criterion) {
 
         let mut rng = StdRng::seed_from_u64(1);
         let act = estimate_activity(&netlist, 256, &mut rng).expect("programmed netlist");
-        group.bench_with_input(
-            BenchmarkId::new("power", profile.name),
-            &netlist,
-            |b, n| b.iter(|| analyze_power(n, &lib, &act)),
-        );
+        group.bench_with_input(BenchmarkId::new("power", profile.name), &netlist, |b, n| {
+            b.iter(|| analyze_power(n, &lib, &act))
+        });
 
         group.bench_with_input(
             BenchmarkId::new("optimize", profile.name),

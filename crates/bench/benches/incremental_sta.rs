@@ -1,0 +1,102 @@
+//! Incremental vs. full-reanalysis timing for parametric-aware
+//! selection (Algorithm 2).
+//!
+//! Two layers:
+//!
+//! * `probe/*` — the raw oracle question ("what is the period if this
+//!   one gate becomes a LUT?") answered by `IncrementalSta::batch_eval`
+//!   versus a scratch-netlist `analyze` per candidate. This isolates the
+//!   engine speedup from path sampling.
+//! * `selection/*` — the full `parametric` run (sampling included)
+//!   against `parametric_full_sta`, the pre-incremental reference. This
+//!   is the end-to-end Table II measurement; for a fixed seed both
+//!   produce byte-identical selections, which the harness asserts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sttlock_benchgen::profiles;
+use sttlock_core::select::{parametric, parametric_full_sta, SelectionConfig};
+use sttlock_netlist::NodeId;
+use sttlock_sta::{analyze, IncrementalSta};
+use sttlock_techlib::Library;
+
+/// Every narrow standard cell — the population `batch_eval` probes.
+fn probe_candidates(netlist: &sttlock_netlist::Netlist) -> Vec<NodeId> {
+    netlist
+        .iter()
+        .filter(|(_, n)| n.gate_kind().is_some() && n.fanin().len() <= 6)
+        .map(|(id, _)| id)
+        .take(256)
+        .collect()
+}
+
+fn bench_probes(c: &mut Criterion) {
+    let lib = Library::predictive_90nm();
+    let mut group = c.benchmark_group("probe");
+    group.sample_size(10);
+    for profile in [
+        profiles::by_name("s1238").unwrap(),
+        profiles::by_name("s9234a").unwrap(),
+    ] {
+        let netlist = profile.generate(&mut StdRng::seed_from_u64(42));
+        let candidates = probe_candidates(&netlist);
+
+        group.bench_with_input(
+            BenchmarkId::new("incremental", profile.name),
+            &netlist,
+            |b, n| {
+                let engine = IncrementalSta::new(n, &lib);
+                b.iter(|| engine.batch_eval(&candidates));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("full", profile.name), &netlist, |b, n| {
+            b.iter(|| {
+                let mut scratch = n.clone();
+                let mut worst: f64 = 0.0;
+                for &id in &candidates {
+                    let kind = n.node(id).gate_kind().unwrap();
+                    scratch.replace_gate_with_lut(id).unwrap();
+                    worst = worst.max(analyze(&scratch, &lib).clock_period_ns());
+                    scratch.restore_lut_to_gate(id, kind);
+                }
+                worst
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let lib = Library::predictive_90nm();
+    let cfg = SelectionConfig::default();
+    let mut group = c.benchmark_group("selection");
+    group.sample_size(10);
+    for profile in [
+        profiles::by_name("s1238").unwrap(),
+        profiles::by_name("s9234a").unwrap(),
+    ] {
+        let netlist = profile.generate(&mut StdRng::seed_from_u64(42));
+        let timing = analyze(&netlist, &lib);
+
+        // Both paths must answer identically before timing them.
+        let fast = parametric(&netlist, &lib, &timing, &cfg, &mut StdRng::seed_from_u64(7));
+        let reference =
+            parametric_full_sta(&netlist, &lib, &timing, &cfg, &mut StdRng::seed_from_u64(7));
+        assert_eq!(fast, reference, "oracles diverged on {}", profile.name);
+
+        group.bench_with_input(
+            BenchmarkId::new("incremental", profile.name),
+            &netlist,
+            |b, n| b.iter(|| parametric(n, &lib, &timing, &cfg, &mut StdRng::seed_from_u64(7))),
+        );
+        group.bench_with_input(BenchmarkId::new("full", profile.name), &netlist, |b, n| {
+            b.iter(|| parametric_full_sta(n, &lib, &timing, &cfg, &mut StdRng::seed_from_u64(7)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probes, bench_selection);
+criterion_main!(benches);

@@ -35,8 +35,8 @@ fn bench_sat_attack(c: &mut Criterion) {
             &(redacted, oracle),
             |b, (r, o)| {
                 b.iter(|| {
-                    let out = sat_attack::run(r, o, &SatAttackConfig::default())
-                        .expect("attack runs");
+                    let out =
+                        sat_attack::run(r, o, &SatAttackConfig::default()).expect("attack runs");
                     assert!(out.succeeded());
                     out.dips
                 })

@@ -20,20 +20,16 @@ fn bench_simulation(c: &mut Criterion) {
         let n_inputs = netlist.inputs().len();
         // 64 lanes x 32 cycles per iteration.
         group.throughput(Throughput::Elements(64 * 32));
-        group.bench_with_input(
-            BenchmarkId::new("cmos", profile.name),
-            &netlist,
-            |b, n| {
-                let mut sim = Simulator::new(n).expect("programmed netlist");
-                let mut rng = StdRng::seed_from_u64(1);
-                b.iter(|| {
-                    for _ in 0..32 {
-                        let pat: Vec<u64> = (0..n_inputs).map(|_| rng.gen()).collect();
-                        sim.step(&pat).expect("arity matches");
-                    }
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("cmos", profile.name), &netlist, |b, n| {
+            let mut sim = Simulator::new(n).expect("programmed netlist");
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                for _ in 0..32 {
+                    let pat: Vec<u64> = (0..n_inputs).map(|_| rng.gen()).collect();
+                    sim.step(&pat).expect("arity matches");
+                }
+            })
+        });
     }
 
     // Hybrid netlist simulates at comparable speed.

@@ -29,18 +29,25 @@ fn main() {
     let profile = args
         .profiles()
         .into_iter()
-        .filter(|p| p.gates <= args.max_gates.min(700))
-        .next_back()
+        .rfind(|p| p.gates <= args.max_gates.min(700))
         .expect("at least one profile in range");
     let netlist = args.generate(&profile);
     let lib = Library::predictive_90nm();
 
-    println!("Ablations on {} ({} gates), seed {}", profile.name, netlist.gate_count(), args.seed);
+    println!(
+        "Ablations on {} ({} gates), seed {}",
+        profile.name,
+        netlist.gate_count(),
+        args.seed
+    );
 
     // 1. LUT budget sweep (independent selection).
     println!();
     println!("1) Independent-selection LUT budget sweep");
-    println!("{:>6} | {:>8} | {:>8} | {:>10}", "#LUTs", "power%", "area%", "N_indep");
+    println!(
+        "{:>6} | {:>8} | {:>8} | {:>10}",
+        "#LUTs", "power%", "area%", "N_indep"
+    );
     let mut flow = Flow::new(lib.clone());
     for budget in [1usize, 2, 4, 8, 16, 32, 64] {
         flow.selection.independent_gates = budget;

@@ -15,7 +15,10 @@ use sttlock_techlib::{fig1, Library};
 fn main() {
     let lib = Library::predictive_90nm();
     println!("Figure 1 — MTJ-based LUT vs static CMOS (normalized to CMOS)");
-    println!("technology: calibrated synthetic 90 nm CMOS + STT-LUT model @ {} GHz", lib.clock_ghz());
+    println!(
+        "technology: calibrated synthetic 90 nm CMOS + STT-LUT model @ {} GHz",
+        lib.clock_ghz()
+    );
     println!();
     println!(
         "{:<6} {:<26} {:>10} {:>10} {:>9}",

@@ -14,7 +14,10 @@ fn main() {
     let args = HarnessArgs::parse();
     let flow = Flow::new(Library::predictive_90nm());
 
-    println!("Table I — overhead after introducing STT-based LUTs (seed {})", args.seed);
+    println!(
+        "Table I — overhead after introducing STT-based LUTs (seed {})",
+        args.seed
+    );
     println!(
         "{:<9} | {:>6} {:>6} {:>6} | {:>7} {:>7} {:>7} | {:>6} {:>6} {:>6} | {:>5} {:>5} {:>5} | {:>7}",
         "Circuit",

@@ -24,7 +24,10 @@ fn main() {
     let args = HarnessArgs::parse();
     let flow = Flow::new(Library::predictive_90nm());
 
-    println!("Table II — CPU time (MM:SS.s) for gate selection (seed {})", args.seed);
+    println!(
+        "Table II — CPU time (MM:SS.s) for gate selection (seed {})",
+        args.seed
+    );
     println!(
         "{:<9} | {:>12} | {:>12} | {:>12}",
         "Circuit", "Independent", "Dependent", "Parametric"

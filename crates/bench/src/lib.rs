@@ -36,7 +36,10 @@ pub struct HarnessArgs {
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        HarnessArgs { max_gates: usize::MAX, seed: 42 }
+        HarnessArgs {
+            max_gates: usize::MAX,
+            seed: 42,
+        }
     }
 }
 
@@ -62,7 +65,7 @@ impl HarnessArgs {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage("--seed needs an integer"));
                 }
-                "--help" | "-h" => usage("") ,
+                "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag `{other}`")),
             }
         }
@@ -112,7 +115,10 @@ mod tests {
 
     #[test]
     fn max_gates_filters() {
-        let a = HarnessArgs { max_gates: 700, seed: 1 };
+        let a = HarnessArgs {
+            max_gates: 700,
+            seed: 1,
+        };
         assert!(a.profiles().iter().all(|p| p.gates <= 700));
     }
 
@@ -123,7 +129,10 @@ mod tests {
 
     #[test]
     fn generate_matches_profile() {
-        let a = HarnessArgs { max_gates: 300, seed: 9 };
+        let a = HarnessArgs {
+            max_gates: 300,
+            seed: 9,
+        };
         let p = a.profiles()[0];
         let n = a.generate(&p);
         assert_eq!(n.gate_count(), p.gates);

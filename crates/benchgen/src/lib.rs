@@ -68,15 +68,30 @@ impl Profile {
     /// Panics when any of the structural requirements of
     /// [`generate`](Profile::generate) cannot hold (no inputs, no outputs,
     /// or fewer gates than flip-flops need for their backbone).
-    pub fn custom(name: &'static str, gates: usize, dffs: usize, inputs: usize, outputs: usize) -> Self {
-        let p = Profile { name, gates, dffs, inputs, outputs };
+    pub fn custom(
+        name: &'static str,
+        gates: usize,
+        dffs: usize,
+        inputs: usize,
+        outputs: usize,
+    ) -> Self {
+        let p = Profile {
+            name,
+            gates,
+            dffs,
+            inputs,
+            outputs,
+        };
         p.validate();
         p
     }
 
     fn validate(&self) {
         assert!(self.inputs >= 1, "profile needs at least one primary input");
-        assert!(self.outputs >= 1, "profile needs at least one primary output");
+        assert!(
+            self.outputs >= 1,
+            "profile needs at least one primary output"
+        );
         assert!(
             self.gates >= self.dffs.max(1) + self.outputs.min(self.gates),
             "profile `{}` has too few gates ({}) for {} flip-flops and {} outputs",
@@ -122,7 +137,10 @@ impl Profile {
         // first stage reads a primary input. This guarantees ≥2-flip-flop
         // I/O paths without creating thousand-stage pipelines.
         let n_chains = if self.dffs >= 2 {
-            self.dffs.div_ceil(MAX_CHAIN_DEPTH).min(self.dffs / 2).max(1)
+            self.dffs
+                .div_ceil(MAX_CHAIN_DEPTH)
+                .min(self.dffs / 2)
+                .max(1)
         } else {
             1
         };
@@ -133,13 +151,17 @@ impl Profile {
         }
 
         let mut ff_d_name: Vec<Option<String>> = vec![None; self.dffs];
-        for g in 0..self.gates {
+        for (g, &d_ff) in d_driver_of.iter().enumerate() {
             let name = format!("N{g}");
             let kind = random_kind(rng);
-            let fanin_n = if kind.is_unary() { 1 } else { random_fanin(rng) };
+            let fanin_n = if kind.is_unary() {
+                1
+            } else {
+                random_fanin(rng)
+            };
 
             let mut fanin: Vec<String> = Vec::with_capacity(fanin_n);
-            if let Some(ff) = d_driver_of[g] {
+            if let Some(ff) = d_ff {
                 // Forced backbone input: the previous flip-flop of this
                 // chain, or a primary input for a chain's first stage.
                 // Flip-flop `ff` belongs to chain `ff % n_chains`; its
@@ -157,7 +179,10 @@ impl Profile {
                     unread.swap_remove(i)
                 } else if rng.gen_bool(0.5) && pool.len() > 32 {
                     // Recency bias: draw from the newest 32 signals.
-                    pool[pool.len() - 32..].choose(rng).expect("nonempty").clone()
+                    pool[pool.len() - 32..]
+                        .choose(rng)
+                        .expect("nonempty")
+                        .clone()
                 } else {
                     pool.choose(rng).expect("nonempty").clone()
                 };
@@ -183,7 +208,7 @@ impl Profile {
             for f in &fanin {
                 unread.retain(|u| u != f);
             }
-            if let Some(ff) = d_driver_of[g] {
+            if let Some(ff) = d_ff {
                 ff_d_name[ff] = Some(name.clone());
                 // The D pin reads this gate, so it is not dangling.
             } else {

@@ -10,18 +10,90 @@ use crate::Profile;
 
 /// All twelve benchmarks, smallest first (Table I order).
 pub const ALL: [Profile; 12] = [
-    Profile { name: "s641", gates: 287, dffs: 19, inputs: 35, outputs: 24 },
-    Profile { name: "s820", gates: 289, dffs: 5, inputs: 18, outputs: 19 },
-    Profile { name: "s832", gates: 379, dffs: 5, inputs: 18, outputs: 19 },
-    Profile { name: "s953", gates: 395, dffs: 29, inputs: 16, outputs: 23 },
-    Profile { name: "s1196", gates: 508, dffs: 18, inputs: 14, outputs: 14 },
-    Profile { name: "s1238", gates: 529, dffs: 18, inputs: 14, outputs: 14 },
-    Profile { name: "s1488", gates: 657, dffs: 6, inputs: 8, outputs: 19 },
-    Profile { name: "s5378a", gates: 2779, dffs: 179, inputs: 35, outputs: 49 },
-    Profile { name: "s9234a", gates: 5597, dffs: 211, inputs: 36, outputs: 39 },
-    Profile { name: "s13207", gates: 7951, dffs: 638, inputs: 62, outputs: 152 },
-    Profile { name: "s15850a", gates: 9772, dffs: 534, inputs: 77, outputs: 150 },
-    Profile { name: "s38584", gates: 19253, dffs: 1426, inputs: 38, outputs: 304 },
+    Profile {
+        name: "s641",
+        gates: 287,
+        dffs: 19,
+        inputs: 35,
+        outputs: 24,
+    },
+    Profile {
+        name: "s820",
+        gates: 289,
+        dffs: 5,
+        inputs: 18,
+        outputs: 19,
+    },
+    Profile {
+        name: "s832",
+        gates: 379,
+        dffs: 5,
+        inputs: 18,
+        outputs: 19,
+    },
+    Profile {
+        name: "s953",
+        gates: 395,
+        dffs: 29,
+        inputs: 16,
+        outputs: 23,
+    },
+    Profile {
+        name: "s1196",
+        gates: 508,
+        dffs: 18,
+        inputs: 14,
+        outputs: 14,
+    },
+    Profile {
+        name: "s1238",
+        gates: 529,
+        dffs: 18,
+        inputs: 14,
+        outputs: 14,
+    },
+    Profile {
+        name: "s1488",
+        gates: 657,
+        dffs: 6,
+        inputs: 8,
+        outputs: 19,
+    },
+    Profile {
+        name: "s5378a",
+        gates: 2779,
+        dffs: 179,
+        inputs: 35,
+        outputs: 49,
+    },
+    Profile {
+        name: "s9234a",
+        gates: 5597,
+        dffs: 211,
+        inputs: 36,
+        outputs: 39,
+    },
+    Profile {
+        name: "s13207",
+        gates: 7951,
+        dffs: 638,
+        inputs: 62,
+        outputs: 152,
+    },
+    Profile {
+        name: "s15850a",
+        gates: 9772,
+        dffs: 534,
+        inputs: 77,
+        outputs: 150,
+    },
+    Profile {
+        name: "s38584",
+        gates: 19253,
+        dffs: 1426,
+        inputs: 38,
+        outputs: 304,
+    },
 ];
 
 /// Looks a profile up by benchmark name.
@@ -32,7 +104,10 @@ pub fn by_name(name: &str) -> Option<Profile> {
 /// The subset of profiles with at most `max_gates` gates — used to keep
 /// CI-sized test runs fast while the bench binaries run the full suite.
 pub fn up_to(max_gates: usize) -> Vec<Profile> {
-    ALL.iter().copied().filter(|p| p.gates <= max_gates).collect()
+    ALL.iter()
+        .copied()
+        .filter(|p| p.gates <= max_gates)
+        .collect()
 }
 
 #[cfg(test)]
@@ -62,7 +137,10 @@ mod tests {
             assert_eq!(by_name(name).unwrap().gates, size, "{name}");
         }
         let avg: f64 = ALL.iter().map(|p| p.gates as f64).sum::<f64>() / 12.0;
-        assert!((avg - 4033.0).abs() < 1.0, "Table I average size is 4033, got {avg}");
+        assert!(
+            (avg - 4033.0).abs() < 1.0,
+            "Table I average size is 4033, got {avg}"
+        );
     }
 
     #[test]

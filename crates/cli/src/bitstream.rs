@@ -47,12 +47,17 @@ pub fn parse(netlist: &Netlist, text: &str) -> Result<Vec<(NodeId, TruthTable)>,
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let err = |message: String| CliError::Bitstream { line: lineno + 1, message };
+        let err = |message: String| CliError::Bitstream {
+            line: lineno + 1,
+            message,
+        };
         let mut parts = line.split_whitespace();
         let (Some(name), Some(fanin), Some(mask), None) =
             (parts.next(), parts.next(), parts.next(), parts.next())
         else {
-            return Err(err(format!("expected `<name> <fanin> 0x<mask>`, got `{line}`")));
+            return Err(err(format!(
+                "expected `<name> <fanin> 0x<mask>`, got `{line}`"
+            )));
         };
         let id = netlist
             .find(name)

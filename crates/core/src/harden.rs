@@ -247,7 +247,11 @@ mod tests {
     fn absorption_preserves_function_and_widens_lut() {
         let n = absorbable();
         let mut hardened = n.clone();
-        let cfg = HardenConfig { decoy_probability: 0.0, absorb: true, max_fanin: 4 };
+        let cfg = HardenConfig {
+            decoy_probability: 0.0,
+            absorb: true,
+            max_fanin: 4,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let report = harden(&mut hardened, &cfg, &mut rng);
         assert_eq!(report.gates_absorbed, 1);
@@ -260,7 +264,11 @@ mod tests {
     fn decoys_preserve_function() {
         let n = absorbable();
         let mut hardened = n.clone();
-        let cfg = HardenConfig { decoy_probability: 1.0, absorb: false, max_fanin: 4 };
+        let cfg = HardenConfig {
+            decoy_probability: 1.0,
+            absorb: false,
+            max_fanin: 4,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let report = harden(&mut hardened, &cfg, &mut rng);
         assert!(report.decoys_added >= 1);
@@ -272,7 +280,11 @@ mod tests {
     #[test]
     fn hardening_respects_max_fanin() {
         let mut n = absorbable();
-        let cfg = HardenConfig { decoy_probability: 1.0, absorb: true, max_fanin: 4 };
+        let cfg = HardenConfig {
+            decoy_probability: 1.0,
+            absorb: true,
+            max_fanin: 4,
+        };
         let mut rng = StdRng::seed_from_u64(5);
         harden(&mut n, &cfg, &mut rng);
         for (_, node) in n.iter() {
@@ -295,7 +307,11 @@ mod tests {
         let mut n = b.finish().unwrap();
         let y = n.find("y").unwrap();
         n.replace_gate_with_lut(y).unwrap();
-        let cfg = HardenConfig { decoy_probability: 0.0, absorb: true, max_fanin: 4 };
+        let cfg = HardenConfig {
+            decoy_probability: 0.0,
+            absorb: true,
+            max_fanin: 4,
+        };
         let mut rng = StdRng::seed_from_u64(6);
         let report = harden(&mut n, &cfg, &mut rng);
         assert_eq!(report.gates_absorbed, 0);

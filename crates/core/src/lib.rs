@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod harden;
+pub mod oracle;
 pub mod replace;
 pub mod select;
 
@@ -53,5 +54,6 @@ mod flow;
 mod report;
 
 pub use flow::{Flow, FlowError, FlowOutcome};
+pub use oracle::{FullSta, TimingOracle};
 pub use report::FlowReport;
 pub use select::{SelectionAlgorithm, SelectionConfig};

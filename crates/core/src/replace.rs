@@ -35,7 +35,11 @@ pub fn apply(netlist: &Netlist, selection: &Selection) -> Replacement {
             Err(_) => skipped.push(id),
         }
     }
-    Replacement { hybrid, bitstream, skipped }
+    Replacement {
+        hybrid,
+        bitstream,
+        skipped,
+    }
 }
 
 #[cfg(test)]

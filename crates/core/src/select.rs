@@ -12,8 +12,10 @@ use rand::Rng;
 
 use sttlock_netlist::paths::{retain_avoiding, sample_io_paths, IoPath, PathSamplerConfig};
 use sttlock_netlist::{Netlist, NodeId};
-use sttlock_sta::{analyze, performance_degradation_pct, TimingAnalysis};
+use sttlock_sta::{analyze, degradation_pct_from_periods, IncrementalSta, TimingAnalysis};
 use sttlock_techlib::Library;
+
+use crate::oracle::{FullSta, TimingOracle};
 
 /// Which selection algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -118,29 +120,38 @@ pub struct Selection {
 /// "Touching" means sharing a *combinational gate* with the critical
 /// path — sharing a primary input or flip-flop is harmless (high-fan-out
 /// sources sit on most paths) and filtering on those would starve the
-/// selection on dense circuits. If the filter would drop every sampled
-/// path, the unfiltered list is used and the dependent/parametric
-/// algorithms still avoid slowing the clock via their timing checks.
+/// selection on dense circuits. A small sample can land entirely on
+/// critical-path gates, so when the filter would drop every sampled path
+/// the sampler is re-run with escalating effort (more seeds, more DFS
+/// attempts) before giving up; only if no clean path exists at all is
+/// the unfiltered list used, and then only the algorithms with their own
+/// timing checks can still avoid slowing the clock.
 pub fn candidate_paths<R: Rng + ?Sized>(
     netlist: &Netlist,
     timing: &TimingAnalysis,
     cfg: &SelectionConfig,
     rng: &mut R,
 ) -> Vec<IoPath> {
-    let paths = sample_io_paths(netlist, &cfg.sampler, rng);
     let critical_gates: Vec<NodeId> = timing
         .critical_path()
         .iter()
         .copied()
         .filter(|&id| netlist.node(id).is_combinational())
         .collect();
-    let mut filtered = paths.clone();
-    retain_avoiding(&mut filtered, &critical_gates);
-    if filtered.is_empty() {
-        paths
-    } else {
-        filtered
+    let mut sampler = cfg.sampler;
+    let mut paths = Vec::new();
+    for _round in 0..4 {
+        paths = sample_io_paths(netlist, &sampler, rng);
+        let mut filtered = paths.clone();
+        retain_avoiding(&mut filtered, &critical_gates);
+        if !filtered.is_empty() {
+            return filtered;
+        }
+        sampler.sample_fraction = (sampler.sample_fraction * 4.0).min(1.0);
+        sampler.min_samples = sampler.min_samples.saturating_mul(4);
+        sampler.attempts_per_seed = sampler.attempts_per_seed.saturating_mul(2);
     }
+    paths
 }
 
 /// Independent selection (Section IV-A.1): a pre-determined number of
@@ -202,9 +213,7 @@ pub fn dependent<R: Rng + ?Sized>(
     };
     // Ties at the maximum depth: pick one at random.
     let deepest_paths: Vec<&IoPath> = paths.iter().filter(|p| p.ff_count == deepest).collect();
-    let chosen = deepest_paths
-        .choose(rng)
-        .expect("nonempty by construction");
+    let chosen = deepest_paths.choose(rng).expect("nonempty by construction");
     let mut gates = chosen.combinational_nodes(netlist);
     gates.sort_unstable();
     gates.dedup();
@@ -230,6 +239,40 @@ pub fn parametric<R: Rng + ?Sized>(
     cfg: &SelectionConfig,
     rng: &mut R,
 ) -> Selection {
+    let mut oracle = IncrementalSta::from_analysis(netlist, lib, timing);
+    parametric_with(netlist, timing, cfg, rng, &mut oracle)
+}
+
+/// [`parametric`] driven by the full-reanalysis oracle ([`FullSta`]):
+/// the pre-incremental behavior, kept as the reference implementation.
+///
+/// For a fixed seed this produces a selection byte-identical to
+/// [`parametric`] (the oracles agree bit for bit); it exists so the
+/// differential tests and the `incremental_sta` benchmark have the slow
+/// path to compare against.
+pub fn parametric_full_sta<R: Rng + ?Sized>(
+    netlist: &Netlist,
+    lib: &Library,
+    timing: &TimingAnalysis,
+    cfg: &SelectionConfig,
+    rng: &mut R,
+) -> Selection {
+    let mut oracle = FullSta::new(netlist, lib);
+    parametric_with(netlist, timing, cfg, rng, &mut oracle)
+}
+
+/// Algorithm 2 over any [`TimingOracle`].
+///
+/// The oracle's running hypothesis mirrors `selected` at all times:
+/// accepted draws stay swapped, rejected draws are reverted before the
+/// next question.
+fn parametric_with<R: Rng + ?Sized, O: TimingOracle>(
+    netlist: &Netlist,
+    timing: &TimingAnalysis,
+    cfg: &SelectionConfig,
+    rng: &mut R,
+    oracle: &mut O,
+) -> Selection {
     let paths = candidate_paths(netlist, timing, cfg, rng);
     let paths_considered = paths.len();
 
@@ -251,23 +294,23 @@ pub fn parametric<R: Rng + ?Sized>(
     let targeted: Vec<&Vec<NodeId>> = segments.choose_multiple(rng, want_segments).collect();
 
     let budget_pct = cfg.timing_budget_pct;
+    let base_period = timing.clock_period_ns();
+    let fits = |period: f64| degradation_pct_from_periods(base_period, period) <= budget_pct + 1e-9;
     let mut selected: HashSet<NodeId> = HashSet::new();
     let mut usl: Vec<NodeId> = Vec::new();
-    let mut scratch = netlist.clone();
 
     // Accepts `draw` if the hybrid still meets the timing budget;
     // otherwise reverts it. Returns whether it was kept.
-    let try_accept = |scratch: &mut Netlist, draw: &[NodeId]| -> bool {
+    let try_accept = |oracle: &mut O, draw: &[NodeId]| -> bool {
         for &id in draw {
-            scratch
-                .replace_gate_with_lut(id)
-                .expect("candidates are narrow standard cells");
+            oracle.swap_to_lut(id);
         }
-        let hybrid_timing = analyze(scratch, lib);
-        if performance_degradation_pct(timing, &hybrid_timing) <= budget_pct + 1e-9 {
+        if fits(oracle.clock_period_ns()) {
             true
         } else {
-            undo_luts(scratch, netlist, draw);
+            for &id in draw {
+                oracle.revert_to_gate(id);
+            }
             false
         }
     };
@@ -278,27 +321,33 @@ pub fn parametric<R: Rng + ?Sized>(
             .copied()
             .filter(|&id| {
                 let node = netlist.node(id);
-                node.fanin().len() >= 2 && node.fanin().len() <= 6 && !selected.contains(&id)
+                node.gate_kind().is_some()
+                    && node.fanin().len() >= 2
+                    && node.fanin().len() <= 6
+                    && !selected.contains(&id)
             })
             .collect();
-        if candidates.is_empty() {
-            continue;
-        }
-        let mut take = cfg.gates_per_path.min(candidates.len());
-        let mut accepted: Vec<NodeId> = Vec::new();
-        'shrink: while take > 0 {
-            for _ in 0..cfg.max_retries.max(1) {
-                let draw: Vec<NodeId> = candidates.choose_multiple(rng, take).copied().collect();
-                if try_accept(&mut scratch, &draw) {
-                    accepted = draw;
-                    break 'shrink;
+        if !candidates.is_empty() {
+            let mut take = cfg.gates_per_path.min(candidates.len());
+            let mut accepted: Vec<NodeId> = Vec::new();
+            'shrink: while take > 0 {
+                for _ in 0..cfg.max_retries.max(1) {
+                    let draw: Vec<NodeId> =
+                        candidates.choose_multiple(rng, take).copied().collect();
+                    if try_accept(oracle, &draw) {
+                        accepted = draw;
+                        break 'shrink;
+                    }
                 }
+                take -= 1;
             }
-            take -= 1;
+            selected.extend(accepted.iter().copied());
         }
-        selected.extend(accepted.iter().copied());
-        // Unselected multi-input path gates form the USL.
-        usl.extend(candidates.iter().copied().filter(|id| !selected.contains(id)));
+        // Every unreplaced gate on the targeted path belongs to the USL
+        // — including single-input and wide gates that were never draw
+        // candidates (they still leak partial truth tables if their
+        // neighbourhood stays CMOS).
+        usl.extend(segment.iter().copied().filter(|id| !selected.contains(id)));
     }
 
     // USL closure: replace immediate off-path drivers and readers of
@@ -316,13 +365,30 @@ pub fn parametric<R: Rng + ?Sized>(
     }
     neighbours.sort_unstable();
     neighbours.dedup();
-    for cand in neighbours {
-        if on_path.contains(&cand) || selected.contains(&cand) || !is_replaceable(netlist, cand) {
-            continue;
-        }
-        if try_accept(&mut scratch, &[cand]) {
-            selected.insert(cand);
-            closure.push(cand);
+    neighbours.retain(|&cand| {
+        !on_path.contains(&cand) && !selected.contains(&cand) && is_replaceable(netlist, cand)
+    });
+
+    // Wave-based scan: batch-probe every pending candidate against the
+    // current hypothesis, commit the first passer, re-probe the rest.
+    // Candidates ahead of the first passer saw the same hypothesis a
+    // sequential scan would have shown them, so the decisions (and the
+    // final selection) are identical to probing one by one — there are
+    // just `acceptances + 1` waves instead of `candidates` full probes,
+    // and each wave's probes run in parallel on the incremental oracle.
+    let mut pending = neighbours;
+    while !pending.is_empty() {
+        let periods = oracle.eval_single_swaps(&pending);
+        let first_pass = periods.iter().position(|&p| fits(p));
+        match first_pass {
+            None => break,
+            Some(i) => {
+                let id = pending[i];
+                oracle.swap_to_lut(id);
+                selected.insert(id);
+                closure.push(id);
+                pending.drain(..=i);
+            }
         }
     }
 
@@ -342,18 +408,7 @@ fn is_replaceable(netlist: &Netlist, id: NodeId) -> bool {
     node.gate_kind().is_some() && node.fanin().len() <= 6
 }
 
-/// Reverts tentative LUT replacements by restoring the original gates.
-fn undo_luts(scratch: &mut Netlist, original: &Netlist, ids: &[NodeId]) {
-    for &id in ids {
-        let kind = original
-            .node(id)
-            .gate_kind()
-            .expect("draw candidates are standard cells");
-        scratch.restore_lut_to_gate(id, kind);
-    }
-}
-
-/// Runs the chosen algorithm.
+/// Runs the chosen algorithm, analyzing baseline timing first.
 pub fn run<R: Rng + ?Sized>(
     netlist: &Netlist,
     lib: &Library,
@@ -362,10 +417,24 @@ pub fn run<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Selection {
     let timing = analyze(netlist, lib);
+    run_with_timing(netlist, lib, algorithm, cfg, rng, &timing)
+}
+
+/// Runs the chosen algorithm against an existing baseline analysis,
+/// avoiding a redundant full pass when the caller (e.g. [`crate::Flow`])
+/// has one already.
+pub fn run_with_timing<R: Rng + ?Sized>(
+    netlist: &Netlist,
+    lib: &Library,
+    algorithm: SelectionAlgorithm,
+    cfg: &SelectionConfig,
+    rng: &mut R,
+    timing: &TimingAnalysis,
+) -> Selection {
     match algorithm {
-        SelectionAlgorithm::Independent => independent(netlist, &timing, cfg, rng),
-        SelectionAlgorithm::Dependent => dependent(netlist, &timing, cfg, rng),
-        SelectionAlgorithm::ParametricAware => parametric(netlist, lib, &timing, cfg, rng),
+        SelectionAlgorithm::Independent => independent(netlist, timing, cfg, rng),
+        SelectionAlgorithm::Dependent => dependent(netlist, timing, cfg, rng),
+        SelectionAlgorithm::ParametricAware => parametric(netlist, lib, timing, cfg, rng),
     }
 }
 
@@ -376,6 +445,7 @@ mod tests {
     use rand::SeedableRng;
     use sttlock_benchgen::Profile;
     use sttlock_netlist::graph::comb_reachable;
+    use sttlock_sta::performance_degradation_pct;
 
     fn circuit() -> Netlist {
         Profile::custom("sel", 220, 8, 8, 6).generate(&mut StdRng::seed_from_u64(5))
@@ -386,7 +456,13 @@ mod tests {
         let n = circuit();
         let lib = Library::predictive_90nm();
         let mut rng = StdRng::seed_from_u64(1);
-        let sel = run(&n, &lib, SelectionAlgorithm::Independent, &SelectionConfig::default(), &mut rng);
+        let sel = run(
+            &n,
+            &lib,
+            SelectionAlgorithm::Independent,
+            &SelectionConfig::default(),
+            &mut rng,
+        );
         assert_eq!(sel.gates.len(), 5);
         assert!(sel.usl_closure.is_empty());
         for &g in &sel.gates {
@@ -399,7 +475,13 @@ mod tests {
         let n = circuit();
         let lib = Library::predictive_90nm();
         let mut rng = StdRng::seed_from_u64(2);
-        let sel = run(&n, &lib, SelectionAlgorithm::Dependent, &SelectionConfig::default(), &mut rng);
+        let sel = run(
+            &n,
+            &lib,
+            SelectionAlgorithm::Dependent,
+            &SelectionConfig::default(),
+            &mut rng,
+        );
         assert!(sel.gates.len() > 1, "a deep path has several gates");
         // Dependency: at least one selected gate drives another through
         // pure combinational logic or a flip-flop chain along the path.
@@ -485,6 +567,81 @@ mod tests {
     }
 
     #[test]
+    fn parametric_matches_full_sta_reference() {
+        // The incremental oracle must not change a single decision: for a
+        // fixed seed the selection is byte-identical to the full-reanalysis
+        // reference, across circuit sizes.
+        let lib = Library::predictive_90nm();
+        let cfg = SelectionConfig::default();
+        for (gates, seed) in [(220usize, 1u64), (220, 9), (400, 5), (700, 13)] {
+            let n =
+                Profile::custom("par", gates, 8, 8, 6).generate(&mut StdRng::seed_from_u64(seed));
+            let timing = analyze(&n, &lib);
+            let fast = parametric(
+                &n,
+                &lib,
+                &timing,
+                &cfg,
+                &mut StdRng::seed_from_u64(seed * 7 + 1),
+            );
+            let reference = parametric_full_sta(
+                &n,
+                &lib,
+                &timing,
+                &cfg,
+                &mut StdRng::seed_from_u64(seed * 7 + 1),
+            );
+            assert_eq!(fast, reference, "gates={gates} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn usl_includes_single_input_gates() {
+        // Regression: the USL is *all* unreplaced gates on the targeted
+        // path. Inverters can never be drawn (LUT replacement needs ≥2
+        // inputs) but must still enter the USL so their off-path
+        // neighbours get closed over — otherwise the inverter's partial
+        // truth table anchors a testing attack.
+        use sttlock_netlist::{GateKind, NetlistBuilder};
+        let mut b = NetlistBuilder::new("inv_usl");
+        b.input("a");
+        b.input("c");
+        b.gate("g0", GateKind::And, &["a", "c"]);
+        b.dff("ff1", "g0");
+        b.gate("g1", GateKind::And, &["ff1", "c"]);
+        b.gate("inv", GateKind::Not, &["g1"]);
+        b.dff("ff2", "inv");
+        b.gate("g2", GateKind::And, &["ff2", "c"]);
+        b.output("g2");
+        // Off-path reader of the inverter: only reachable via the USL.
+        b.gate("spy", GateKind::And, &["inv", "a"]);
+        b.output("spy");
+        let n = b.finish().unwrap();
+        let lib = Library::predictive_90nm();
+        let timing = analyze(&n, &lib);
+        // The circuit is three gate-levels deep, so any LUT swap costs a
+        // large fraction of the period — the budget is generous because
+        // this test is about USL membership, not timing.
+        let cfg = SelectionConfig {
+            parametric_paths: Some(1),
+            gates_per_path: 1,
+            timing_budget_pct: 300.0,
+            ..SelectionConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let sel = parametric(&n, &lib, &timing, &cfg, &mut rng);
+        let spy = n.find("spy").unwrap();
+        assert!(
+            sel.usl_closure.contains(&spy),
+            "closure must reach the inverter's off-path reader: {sel:?}"
+        );
+        assert!(sel.gates.contains(&spy));
+        // The inverter itself stays CMOS: it is USL, not a draw candidate.
+        let inv = n.find("inv").unwrap();
+        assert!(!sel.gates.contains(&inv));
+    }
+
+    #[test]
     fn combinational_circuit_falls_back() {
         use sttlock_netlist::{GateKind, NetlistBuilder};
         let mut b = NetlistBuilder::new("comb");
@@ -496,7 +653,13 @@ mod tests {
         let n = b.finish().unwrap();
         let lib = Library::predictive_90nm();
         let mut rng = StdRng::seed_from_u64(10);
-        let sel = run(&n, &lib, SelectionAlgorithm::Independent, &SelectionConfig::default(), &mut rng);
+        let sel = run(
+            &n,
+            &lib,
+            SelectionAlgorithm::Independent,
+            &SelectionConfig::default(),
+            &mut rng,
+        );
         assert_eq!(sel.gates.len(), 2, "fallback pool covers all gates");
     }
 }

@@ -14,7 +14,6 @@ use sttlock_benchgen::Profile;
 use sttlock_core::harden::{harden, HardenConfig};
 use sttlock_core::{Flow, SelectionAlgorithm};
 use sttlock_sim::Simulator;
-use sttlock_sta::{analyze, performance_degradation_pct};
 use sttlock_techlib::Library;
 
 fn equivalent(a: &sttlock_netlist::Netlist, b: &sttlock_netlist::Netlist, seed: u64) -> bool {

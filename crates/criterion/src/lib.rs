@@ -1,0 +1,299 @@
+//! Workspace-local stand-in for the subset of the `criterion` API that
+//! sttlock's benches use.
+//!
+//! The build environment has no access to crates.io. This crate keeps
+//! the `criterion_group!`/`criterion_main!`/`Criterion` surface so the
+//! bench sources compile unchanged, and it **really measures**: each
+//! benchmark is warmed up, auto-batched until a batch takes long enough
+//! to time reliably, sampled `sample_size` times, and reported with
+//! median/mean per-iteration wall time on stdout. There are no HTML
+//! reports or statistical regressions — just honest numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Minimum wall time one timed batch should cover.
+const TARGET_BATCH: Duration = Duration::from_millis(20);
+
+/// Re-export-compatible opaque-value helper.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Work-per-iteration annotation; reported as a rate next to the time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to the benchmark closure.
+pub struct Bencher {
+    batch: u64,
+    sample_count: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records per-iteration timings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and auto-batching: grow the batch until one batch
+        // takes at least TARGET_BATCH (so timer noise stays small).
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= TARGET_BATCH || batch >= 1 << 20 {
+                break;
+            }
+            let grow = if elapsed.is_zero() {
+                8
+            } else {
+                (TARGET_BATCH.as_nanos() / elapsed.as_nanos().max(1)).clamp(2, 8) as u64
+            };
+            batch = batch.saturating_mul(grow);
+        }
+        self.batch = batch;
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / batch as u32);
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(
+    full_id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        batch: 1,
+        sample_count: sample_size.max(1),
+        samples: Vec::with_capacity(sample_size.max(1)),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{full_id:<48} (no samples: bencher.iter was never called)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / median.as_secs_f64();
+            format!("  ({per_sec:.3e} elem/s)")
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 / median.as_secs_f64();
+            format!("  ({per_sec:.3e} B/s)")
+        }
+        None => String::new(),
+    };
+    println!(
+        "{full_id:<48} median {:>12}/iter  mean {:>12}/iter  ({} samples × {} iters){rate}",
+        fmt_duration(median),
+        fmt_duration(mean),
+        b.samples.len(),
+        b.batch,
+    );
+}
+
+/// A named set of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the work-per-iteration annotation for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.throughput, |b| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Benchmarks `routine` with no input.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.throughput, |b| routine(b));
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; we have printed
+    /// every line already).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark harness object.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), 10, None, |b| routine(b));
+        self
+    }
+}
+
+/// Declares a group-runner function calling each benchmark function with
+/// a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench` (and possibly filters); this
+            // harness runs everything and ignores the arguments.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("sta", "s641").to_string(), "sta/s641");
+        assert_eq!(BenchmarkId::from_parameter("s641").to_string(), "s641");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

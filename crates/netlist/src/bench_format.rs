@@ -72,7 +72,10 @@ fn strip_comment(line: &str) -> &str {
 }
 
 fn parse_line(builder: &mut NetlistBuilder, line: &str, lineno: usize) -> Result<(), NetlistError> {
-    let err = |message: String| NetlistError::Parse { line: lineno, message };
+    let err = |message: String| NetlistError::Parse {
+        line: lineno,
+        message,
+    };
 
     if let Some(rest) = strip_keyword(line, "INPUT") {
         let name = parse_parenthesized(rest).ok_or_else(|| err("expected INPUT(name)".into()))?;
@@ -128,12 +131,14 @@ fn parse_line(builder: &mut NetlistBuilder, line: &str, lineno: usize) -> Result
         return Ok(());
     }
 
-    let open = rhs
-        .find('(')
-        .ok_or_else(|| err(format!("expected gate call on right-hand side, got `{rhs}`")))?;
+    let open = rhs.find('(').ok_or_else(|| {
+        err(format!(
+            "expected gate call on right-hand side, got `{rhs}`"
+        ))
+    })?;
     let keyword = rhs[..open].trim();
-    let args = parse_parenthesized(&rhs[open..])
-        .ok_or_else(|| err("malformed argument list".into()))?;
+    let args =
+        parse_parenthesized(&rhs[open..]).ok_or_else(|| err("malformed argument list".into()))?;
     let fanin: Vec<&str> = split_args(args);
 
     if keyword.eq_ignore_ascii_case("CONST0") || keyword.eq_ignore_ascii_case("CONST1") {
@@ -145,7 +150,10 @@ fn parse_line(builder: &mut NetlistBuilder, line: &str, lineno: usize) -> Result
     }
     if keyword.eq_ignore_ascii_case("DFF") {
         if fanin.len() != 1 {
-            return Err(err(format!("DFF takes exactly one input, got {}", fanin.len())));
+            return Err(err(format!(
+                "DFF takes exactly one input, got {}",
+                fanin.len()
+            )));
         }
         builder.dff(lhs, fanin[0]);
         return Ok(());

@@ -59,14 +59,23 @@ impl fmt::Display for NetlistError {
             NetlistError::DuplicateName { name } => {
                 write!(f, "signal `{name}` is defined more than once")
             }
-            NetlistError::UnresolvedName { name, referenced_by } => {
-                write!(f, "signal `{name}` referenced by `{referenced_by}` is never defined")
+            NetlistError::UnresolvedName {
+                name,
+                referenced_by,
+            } => {
+                write!(
+                    f,
+                    "signal `{name}` referenced by `{referenced_by}` is never defined"
+                )
             }
             NetlistError::BadArity { name, kind, fanin } => {
                 write!(f, "gate `{name}` of kind {kind} has illegal fan-in {fanin}")
             }
             NetlistError::CombinationalCycle { on } => {
-                write!(f, "combinational cycle through `{on}` (no flip-flop on the loop)")
+                write!(
+                    f,
+                    "combinational cycle through `{on}` (no flip-flop on the loop)"
+                )
             }
             NetlistError::UnknownOutput { name } => {
                 write!(f, "primary output `{name}` references an undefined signal")
@@ -75,7 +84,10 @@ impl fmt::Display for NetlistError {
                 write!(f, "parse error on line {line}: {message}")
             }
             NetlistError::LutTooWide { name, fanin } => {
-                write!(f, "LUT `{name}` has fan-in {fanin}, above the supported maximum of 6")
+                write!(
+                    f,
+                    "LUT `{name}` has fan-in {fanin}, above the supported maximum of 6"
+                )
             }
         }
     }
@@ -91,7 +103,10 @@ mod tests {
     fn display_is_lowercase_and_specific() {
         let e = NetlistError::DuplicateName { name: "g1".into() };
         assert_eq!(e.to_string(), "signal `g1` is defined more than once");
-        let e = NetlistError::Parse { line: 3, message: "bad token".into() };
+        let e = NetlistError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 3"));
     }
 

@@ -165,9 +165,7 @@ impl Netlist {
     pub fn replace_gate_with_lut(&mut self, id: NodeId) -> Result<TruthTable, NetlistError> {
         let (kind, fanin) = match &self.nodes[id.index()] {
             Node::Gate { kind, fanin } => (*kind, fanin.clone()),
-            other => panic!(
-                "replace_gate_with_lut: node {id} is {other:?}, not a gate"
-            ),
+            other => panic!("replace_gate_with_lut: node {id} is {other:?}, not a gate"),
         };
         if fanin.len() > MAX_LUT_INPUTS {
             return Err(NetlistError::LutTooWide {
@@ -303,10 +301,7 @@ impl Netlist {
         if let Some(t) = config {
             assert_eq!(t.inputs(), fanin.len(), "config width must match fan-in");
         }
-        let old = std::mem::replace(
-            &mut self.nodes[id.index()],
-            Node::Lut { fanin, config },
-        );
+        let old = std::mem::replace(&mut self.nodes[id.index()], Node::Lut { fanin, config });
         assert!(old.is_lut(), "rewire_lut: node {id} was {old:?}, not a LUT");
         if let Err(e) = self.check_acyclic() {
             self.nodes[id.index()] = old;
@@ -522,7 +517,10 @@ impl NetlistBuilder {
     pub fn finish(&self) -> Result<Netlist, NetlistError> {
         let mut name_index: HashMap<String, NodeId> = HashMap::with_capacity(self.decls.len());
         for (i, (name, _)) in self.decls.iter().enumerate() {
-            if name_index.insert(name.clone(), NodeId::from_index(i)).is_some() {
+            if name_index
+                .insert(name.clone(), NodeId::from_index(i))
+                .is_some()
+            {
                 return Err(NetlistError::DuplicateName { name: name.clone() });
             }
         }
@@ -560,7 +558,9 @@ impl NetlistBuilder {
                         .collect::<Result<Vec<_>, _>>()?;
                     Node::Gate { kind: *kind, fanin }
                 }
-                Decl::Dff(d) => Node::Dff { d: resolve(name, d)? },
+                Decl::Dff(d) => Node::Dff {
+                    d: resolve(name, d)?,
+                },
                 Decl::Lut(fanin_names, config) => {
                     if fanin_names.len() > MAX_LUT_INPUTS {
                         return Err(NetlistError::LutTooWide {
@@ -579,7 +579,10 @@ impl NetlistBuilder {
                         .iter()
                         .map(|f| resolve(name, f))
                         .collect::<Result<Vec<_>, _>>()?;
-                    Node::Lut { fanin, config: *config }
+                    Node::Lut {
+                        fanin,
+                        config: *config,
+                    }
                 }
             };
             nodes.push(node);
@@ -717,7 +720,9 @@ mod tests {
         b.output("ghost");
         assert_eq!(
             b.finish(),
-            Err(NetlistError::UnknownOutput { name: "ghost".into() })
+            Err(NetlistError::UnknownOutput {
+                name: "ghost".into()
+            })
         );
     }
 

@@ -194,7 +194,10 @@ mod tests {
     #[test]
     fn bench_keyword_round_trip() {
         for kind in GateKind::ALL {
-            assert_eq!(GateKind::from_bench_keyword(kind.bench_keyword()), Some(kind));
+            assert_eq!(
+                GateKind::from_bench_keyword(kind.bench_keyword()),
+                Some(kind)
+            );
         }
         assert_eq!(GateKind::from_bench_keyword("DFF"), None);
         assert_eq!(GateKind::from_bench_keyword("nand"), Some(GateKind::Nand));
@@ -218,8 +221,14 @@ mod tests {
     #[test]
     fn classification() {
         assert!(Node::Input.is_input());
-        assert!(Node::Dff { d: NodeId::from_index(0) }.is_dff());
-        let lut = Node::Lut { fanin: vec![], config: None };
+        assert!(Node::Dff {
+            d: NodeId::from_index(0)
+        }
+        .is_dff());
+        let lut = Node::Lut {
+            fanin: vec![],
+            config: None,
+        };
         assert!(lut.is_lut());
         assert!(lut.is_combinational());
     }

@@ -118,10 +118,7 @@ pub fn sample_io_paths<R: Rng + ?Sized>(
     let want = ((comb.len() as f64 * cfg.sample_fraction).ceil() as usize)
         .max(cfg.min_samples)
         .min(comb.len());
-    let seeds: Vec<NodeId> = comb
-        .choose_multiple(rng, want)
-        .copied()
-        .collect();
+    let seeds: Vec<NodeId> = comb.choose_multiple(rng, want).copied().collect();
 
     let fanout = fanout_map(netlist);
     let output_set: HashSet<NodeId> = netlist.outputs().iter().copied().collect();

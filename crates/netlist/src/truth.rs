@@ -70,10 +70,7 @@ impl TruthTable {
     /// Panics if the fan-in is invalid for the gate kind (see
     /// [`GateKind::arity_ok`]) or exceeds [`MAX_LUT_INPUTS`](crate::MAX_LUT_INPUTS).
     pub fn from_gate(kind: GateKind, inputs: usize) -> Self {
-        assert!(
-            kind.arity_ok(inputs),
-            "{kind} cannot have fan-in {inputs}"
-        );
+        assert!(kind.arity_ok(inputs), "{kind} cannot have fan-in {inputs}");
         assert!(inputs <= MAX_LUT_INPUTS);
         let rows = 1usize << inputs;
         let mut bits = 0u64;
@@ -196,13 +193,9 @@ impl TruthTable {
     /// Returns the gate kind this table realizes at its native fan-in, if
     /// it is one of the eight standard kinds.
     pub fn as_gate(&self) -> Option<GateKind> {
-        for kind in GateKind::ALL {
-            if kind.arity_ok(self.inputs()) && TruthTable::from_gate(kind, self.inputs()) == *self
-            {
-                return Some(kind);
-            }
-        }
-        None
+        GateKind::ALL.into_iter().find(|&kind| {
+            kind.arity_ok(self.inputs()) && TruthTable::from_gate(kind, self.inputs()) == *self
+        })
     }
 
     /// The complement table.
@@ -214,7 +207,13 @@ impl TruthTable {
 
 impl fmt::Debug for TruthTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "TruthTable({}:{:0width$b})", self.inputs, self.bits, width = self.rows())
+        write!(
+            f,
+            "TruthTable({}:{:0width$b})",
+            self.inputs,
+            self.bits,
+            width = self.rows()
+        )
     }
 }
 

@@ -65,7 +65,7 @@ fn arb_circuit() -> impl Strategy<Value = sttlock_netlist::Netlist> {
         GateKind::Not,
     ]);
     (
-        2usize..5,                                          // inputs
+        2usize..5, // inputs
         prop::collection::vec((kinds, any::<u32>(), any::<u32>(), prop::bool::ANY), 1..40),
     )
         .prop_map(|(n_inputs, gates)| {

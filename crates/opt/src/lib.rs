@@ -111,7 +111,10 @@ pub fn optimize(netlist: &Netlist) -> Result<(Netlist, OptReport), NetlistError>
     // name → operand it negates (for double-negation cancelling).
     let mut not_of: HashMap<String, String> = HashMap::new();
 
-    let emit = |name: &str, def: Def, defs: &mut Vec<(String, Def)>, def_index: &mut HashMap<String, usize>| {
+    let emit = |name: &str,
+                def: Def,
+                defs: &mut Vec<(String, Def)>,
+                def_index: &mut HashMap<String, usize>| {
         def_index.insert(name.to_owned(), defs.len());
         defs.push((name.to_owned(), def));
     };
@@ -172,7 +175,12 @@ pub fn optimize(netlist: &Netlist) -> Result<(Netlist, OptReport), NetlistError>
                 })
                 .collect();
             rep[id.index()] = Some(Rep::Name(name.clone()));
-            emit(&name, Def::Lut(operands, *config), &mut defs, &mut def_index);
+            emit(
+                &name,
+                Def::Lut(operands, *config),
+                &mut defs,
+                &mut def_index,
+            );
             continue;
         }
 
@@ -198,7 +206,12 @@ pub fn optimize(netlist: &Netlist) -> Result<(Netlist, OptReport), NetlistError>
                 } else {
                     strash.insert((GateKind::Not, vec![op.clone()]), name.clone());
                     not_of.insert(name.clone(), op.clone());
-                    emit(&name, Def::Gate(GateKind::Not, vec![op]), &mut defs, &mut def_index);
+                    emit(
+                        &name,
+                        Def::Gate(GateKind::Not, vec![op]),
+                        &mut defs,
+                        &mut def_index,
+                    );
                     Rep::Name(name.clone())
                 }
             }
@@ -247,7 +260,9 @@ pub fn optimize(netlist: &Netlist) -> Result<(Netlist, OptReport), NetlistError>
         if !keep.insert(n.clone()) {
             continue;
         }
-        let Some(&slot) = def_index.get(&n) else { continue };
+        let Some(&slot) = def_index.get(&n) else {
+            continue;
+        };
         match &defs[slot].1 {
             Def::Gate(_, ops) | Def::Lut(ops, _) => stack.extend(ops.iter().cloned()),
             Def::Dff(d) => stack.push(d.clone()),

@@ -58,7 +58,11 @@ impl PowerBreakdown {
 /// # Panics
 ///
 /// Panics if the activity report is shorter than the netlist.
-pub fn analyze_power(netlist: &Netlist, lib: &Library, activity: &ActivityReport) -> PowerBreakdown {
+pub fn analyze_power(
+    netlist: &Netlist,
+    lib: &Library,
+    activity: &ActivityReport,
+) -> PowerBreakdown {
     assert!(
         activity.alpha.len() >= netlist.len(),
         "activity report does not cover the netlist"
@@ -83,11 +87,7 @@ pub fn analyze_power_static(
     })
 }
 
-fn analyze_with(
-    netlist: &Netlist,
-    lib: &Library,
-    alpha: impl Fn(usize) -> f64,
-) -> PowerBreakdown {
+fn analyze_with(netlist: &Netlist, lib: &Library, alpha: impl Fn(usize) -> f64) -> PowerBreakdown {
     let f = lib.clock_ghz();
     let mut out = PowerBreakdown::default();
     for (id, node) in netlist.iter() {
@@ -232,7 +232,10 @@ mod tests {
         n.replace_gate_with_lut(n.find("g1").unwrap()).unwrap();
         let lib = Library::predictive_90nm();
         // Zero-activity report: CMOS dynamic collapses, LUT power remains.
-        let zero = ActivityReport { alpha: vec![0.0; n.len()], cycles: 1 };
+        let zero = ActivityReport {
+            alpha: vec![0.0; n.len()],
+            cycles: 1,
+        };
         let p = analyze_power(&n, &lib, &zero);
         assert!(p.lut_dynamic_uw > 0.0);
         assert_eq!(p.cmos_dynamic_uw, 0.0);
@@ -248,7 +251,9 @@ mod tests {
         let base_a = analyze_area(&n, &lib);
 
         let mut hybrid = n.clone();
-        hybrid.replace_gate_with_lut(hybrid.find("g1").unwrap()).unwrap();
+        hybrid
+            .replace_gate_with_lut(hybrid.find("g1").unwrap())
+            .unwrap();
         let hyb_p = analyze_power(&hybrid, &lib, &act);
         let hyb_a = analyze_area(&hybrid, &lib);
         let report = OverheadReport::between(&base_p, base_a, &hyb_p, hyb_a);
@@ -264,7 +269,10 @@ mod tests {
         n.replace_gate_with_lut(n.find("g1").unwrap()).unwrap();
         let (stripped, _) = n.redact();
         let lib = Library::predictive_90nm();
-        let zero = ActivityReport { alpha: vec![0.0; n.len()], cycles: 1 };
+        let zero = ActivityReport {
+            alpha: vec![0.0; n.len()],
+            cycles: 1,
+        };
         assert_eq!(
             analyze_power(&n, &lib, &zero),
             analyze_power(&stripped, &lib, &zero)

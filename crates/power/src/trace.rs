@@ -156,8 +156,12 @@ mod tests {
         let inputs = vec![vec![true, false]; 10];
         let t = power_trace(&n, &lib, &inputs).unwrap();
         // After the first cycle nothing toggles.
-        assert!(t.energy_fj[1..].windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12));
-        let steady = PowerTrace { energy_fj: t.energy_fj[1..].to_vec() };
+        assert!(t.energy_fj[1..]
+            .windows(2)
+            .all(|w| (w[0] - w[1]).abs() < 1e-12));
+        let steady = PowerTrace {
+            energy_fj: t.energy_fj[1..].to_vec(),
+        };
         assert!(steady.relative_spread() < 1e-9);
     }
 
@@ -169,7 +173,9 @@ mod tests {
         let busy = power_trace(
             &n,
             &lib,
-            &(0..8).map(|i| vec![i % 2 == 0, i % 2 == 1]).collect::<Vec<_>>(),
+            &(0..8)
+                .map(|i| vec![i % 2 == 0, i % 2 == 1])
+                .collect::<Vec<_>>(),
         )
         .unwrap();
         assert!(busy.mean() > idle.mean());
@@ -197,7 +203,9 @@ mod tests {
 
     #[test]
     fn trace_statistics() {
-        let t = PowerTrace { energy_fj: vec![1.0, 3.0] };
+        let t = PowerTrace {
+            energy_fj: vec![1.0, 3.0],
+        };
         assert!((t.mean() - 2.0).abs() < 1e-12);
         assert!((t.variance() - 1.0).abs() < 1e-12);
         assert!((t.relative_spread() - 0.5).abs() < 1e-12);

@@ -43,7 +43,11 @@ pub struct ParseDimacsError {
 
 impl fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "dimacs parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dimacs parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -61,7 +65,10 @@ pub fn parse(text: &str) -> Result<Cnf, ParseDimacsError> {
     let mut current: Vec<Lit> = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
-        let err = |message: String| ParseDimacsError { line: lineno + 1, message };
+        let err = |message: String| ParseDimacsError {
+            line: lineno + 1,
+            message,
+        };
         if line.is_empty() || line.starts_with('c') {
             continue;
         }

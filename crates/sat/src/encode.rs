@@ -122,8 +122,16 @@ pub fn encode(netlist: &Netlist, solver: &mut Solver) -> Encoding {
     }
 
     Encoding {
-        inputs: netlist.inputs().iter().map(|i| net_var[i.index()]).collect(),
-        outputs: netlist.outputs().iter().map(|o| net_var[o.index()]).collect(),
+        inputs: netlist
+            .inputs()
+            .iter()
+            .map(|i| net_var[i.index()])
+            .collect(),
+        outputs: netlist
+            .outputs()
+            .iter()
+            .map(|o| net_var[o.index()])
+            .collect(),
         state_inputs,
         next_state,
         keys,
@@ -388,7 +396,11 @@ mod tests {
         let mut b = NetlistBuilder::new("m");
         b.input("a");
         b.input("c");
-        b.lut("y", &["a", "c"], Some(TruthTable::from_gate(GateKind::Nor, 2)));
+        b.lut(
+            "y",
+            &["a", "c"],
+            Some(TruthTable::from_gate(GateKind::Nor, 2)),
+        );
         b.output("y");
         let n = b.finish().unwrap();
         assert_cnf_matches_simulation(&n);
@@ -456,7 +468,10 @@ mod tests {
         assert_eq!(enc.next_state.len(), 1);
         // Output follows the state input freely (one frame, no clocking).
         let q_var = enc.state_inputs[0].1;
-        assert_eq!(solver.solve_with(&[Lit::pos(q_var), Lit::neg(enc.outputs[0])]), SatResult::Unsat);
+        assert_eq!(
+            solver.solve_with(&[Lit::pos(q_var), Lit::neg(enc.outputs[0])]),
+            SatResult::Unsat
+        );
         // Next state is ¬a regardless of q.
         let d_var = enc.next_state[0].1;
         assert_eq!(
@@ -482,7 +497,12 @@ mod tests {
         for (&x, &y) in e1.inputs.iter().zip(&e2.inputs) {
             equal(&mut solver, x, y);
         }
-        let pairs: Vec<(Var, Var)> = e1.outputs.iter().copied().zip(e2.outputs.iter().copied()).collect();
+        let pairs: Vec<(Var, Var)> = e1
+            .outputs
+            .iter()
+            .copied()
+            .zip(e2.outputs.iter().copied())
+            .collect();
         assert_some_difference(&mut solver, &pairs);
         assert_eq!(solver.solve(), SatResult::Unsat);
     }

@@ -61,7 +61,10 @@ impl fmt::Display for EquivError {
                 write!(f, "designs disagree on their {what} interface")
             }
             EquivError::RedactedLut { name } => {
-                write!(f, "LUT `{name}` is unprogrammed; program both designs before checking")
+                write!(
+                    f,
+                    "LUT `{name}` is unprogrammed; program both designs before checking"
+                )
             }
         }
     }
@@ -100,10 +103,14 @@ impl Error for EquivError {}
 /// ```
 pub fn check_equivalence(a: &Netlist, b: &Netlist) -> Result<EquivResult, EquivError> {
     if a.inputs().len() != b.inputs().len() {
-        return Err(EquivError::InterfaceMismatch { what: "primary-input" });
+        return Err(EquivError::InterfaceMismatch {
+            what: "primary-input",
+        });
     }
     if a.outputs().len() != b.outputs().len() {
-        return Err(EquivError::InterfaceMismatch { what: "primary-output" });
+        return Err(EquivError::InterfaceMismatch {
+            what: "primary-output",
+        });
     }
     for n in [a, b] {
         for (id, node) in n.iter() {
@@ -185,9 +192,16 @@ mod tests {
     fn lut_replacement_is_proven_equivalent() {
         let a = design(GateKind::Nor);
         let mut hybrid = a.clone();
-        hybrid.replace_gate_with_lut(hybrid.find("g").unwrap()).unwrap();
-        hybrid.replace_gate_with_lut(hybrid.find("o").unwrap()).unwrap();
-        assert_eq!(check_equivalence(&a, &hybrid).unwrap(), EquivResult::Equivalent);
+        hybrid
+            .replace_gate_with_lut(hybrid.find("g").unwrap())
+            .unwrap();
+        hybrid
+            .replace_gate_with_lut(hybrid.find("o").unwrap())
+            .unwrap();
+        assert_eq!(
+            check_equivalence(&a, &hybrid).unwrap(),
+            EquivResult::Equivalent
+        );
     }
 
     #[test]
@@ -234,7 +248,9 @@ mod tests {
     fn redacted_luts_are_refused() {
         let a = design(GateKind::And);
         let mut hybrid = a.clone();
-        hybrid.replace_gate_with_lut(hybrid.find("g").unwrap()).unwrap();
+        hybrid
+            .replace_gate_with_lut(hybrid.find("g").unwrap())
+            .unwrap();
         let (stripped, _) = hybrid.redact();
         assert!(matches!(
             check_equivalence(&a, &stripped),

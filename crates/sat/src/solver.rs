@@ -129,7 +129,10 @@ impl Solver {
         // Simplify: dedupe, drop false literals, detect tautology/satisfied.
         let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
         for &l in lits {
-            assert!(l.var().index() < self.num_vars(), "unallocated variable {l}");
+            assert!(
+                l.var().index() < self.num_vars(),
+                "unallocated variable {l}"
+            );
             match self.value_lit(l) {
                 Some(true) => return true, // satisfied at level 0
                 Some(false) => continue,   // false at level 0: drop literal
@@ -273,7 +276,8 @@ impl Solver {
                 p = Some(pl);
                 break;
             }
-            cref = self.reason[pl.var().index()].expect("non-decision implied literal has a reason");
+            cref =
+                self.reason[pl.var().index()].expect("non-decision implied literal has a reason");
             p = Some(pl);
             // Slot 0 of a reason clause is the implied literal itself; the
             // `start` offset above skips it next iteration.
@@ -377,9 +381,7 @@ impl Solver {
                     debug_assert!(self.value_lit(l0).is_none());
                     self.enqueue(l0, Some(cref));
                 }
-                if conflicts_until_restart > 0 {
-                    conflicts_until_restart -= 1;
-                }
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
                 self.var_inc /= VAR_DECAY;
             } else {
                 if conflicts_until_restart == 0 {

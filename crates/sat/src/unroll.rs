@@ -106,10 +106,7 @@ mod tests {
         let mut s = Solver::new();
         let u = encode_unrolled(&n, &mut s, 1);
         // Frame 0 output = q = 0 regardless of en.
-        assert_eq!(
-            s.solve_with(&[Lit::pos(u.outputs[0][0])]),
-            SatResult::Unsat
-        );
+        assert_eq!(s.solve_with(&[Lit::pos(u.outputs[0][0])]), SatResult::Unsat);
     }
 
     #[test]

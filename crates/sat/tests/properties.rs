@@ -121,8 +121,12 @@ fn encoding_matches_simulation_on_random_circuits() {
 
         let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
         for _ in 0..8 {
-            let inputs: Vec<u64> = (0..netlist.inputs().len()).map(|_| rng.gen::<bool>() as u64 * u64::MAX).collect();
-            let state: Vec<u64> = (0..sim.dff_ids().len()).map(|_| rng.gen::<bool>() as u64 * u64::MAX).collect();
+            let inputs: Vec<u64> = (0..netlist.inputs().len())
+                .map(|_| rng.gen::<bool>() as u64 * u64::MAX)
+                .collect();
+            let state: Vec<u64> = (0..sim.dff_ids().len())
+                .map(|_| rng.gen::<bool>() as u64 * u64::MAX)
+                .collect();
             sim.eval_frame(&inputs, &state).expect("frame evaluates");
             let obs = sim.observation();
 

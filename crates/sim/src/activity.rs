@@ -144,7 +144,10 @@ mod tests {
 
     #[test]
     fn mean_over_averages() {
-        let rep = ActivityReport { alpha: vec![0.2, 0.4], cycles: 1 };
+        let rep = ActivityReport {
+            alpha: vec![0.2, 0.4],
+            cycles: 1,
+        };
         let ids = [NodeId::from_index(0), NodeId::from_index(1)];
         assert!((rep.mean_over(&ids) - 0.3).abs() < 1e-12);
         assert_eq!(rep.mean_over(&[]), 0.0);

@@ -276,9 +276,7 @@ mod tests {
         b.output("state");
         let n = b.finish().unwrap();
         let mut sim = Simulator::new(&n).unwrap();
-        let seq: Vec<u64> = (0..4)
-            .map(|_| sim.step(&[u64::MAX]).unwrap()[0])
-            .collect();
+        let seq: Vec<u64> = (0..4).map(|_| sim.step(&[u64::MAX]).unwrap()[0]).collect();
         assert_eq!(seq, vec![0, u64::MAX, 0, u64::MAX]);
     }
 
@@ -314,7 +312,10 @@ mod tests {
         let mut sim = Simulator::new(&n).unwrap();
         assert!(matches!(
             sim.step(&[0, 0]),
-            Err(SimError::InputCountMismatch { expected: 3, got: 2 })
+            Err(SimError::InputCountMismatch {
+                expected: 3,
+                got: 2
+            })
         ));
     }
 
@@ -336,14 +337,21 @@ mod tests {
         let mut b = NetlistBuilder::new("lut");
         b.input("a");
         b.input("b");
-        b.lut("y", &["a", "b"], Some(TruthTable::from_gate(GateKind::And, 2)));
+        b.lut(
+            "y",
+            &["a", "b"],
+            Some(TruthTable::from_gate(GateKind::And, 2)),
+        );
         b.output("y");
         let n = b.finish().unwrap();
         let mut sim = Simulator::new(&n).unwrap();
         assert_eq!(sim.step(&[u64::MAX, 0]).unwrap()[0], 0);
 
         let mut n2 = n.clone();
-        n2.set_lut_config(n2.find("y").unwrap(), TruthTable::from_gate(GateKind::Or, 2));
+        n2.set_lut_config(
+            n2.find("y").unwrap(),
+            TruthTable::from_gate(GateKind::Or, 2),
+        );
         let mut sim2 = Simulator::new(&n2).unwrap();
         assert_eq!(sim2.step(&[u64::MAX, 0]).unwrap()[0], u64::MAX);
     }

@@ -77,7 +77,10 @@ pub fn signal_probabilities(netlist: &Netlist) -> ProbabilityReport {
             break;
         }
     }
-    ProbabilityReport { p_one: p, iterations }
+    ProbabilityReport {
+        p_one: p,
+        iterations,
+    }
 }
 
 fn eval_probability(netlist: &Netlist, p: &[f64], id: NodeId) -> f64 {
@@ -183,7 +186,11 @@ mod tests {
         let mut b = NetlistBuilder::new("m");
         b.input("a");
         b.input("c");
-        b.lut("y", &["a", "c"], Some(TruthTable::from_gate(GateKind::Nor, 2)));
+        b.lut(
+            "y",
+            &["a", "c"],
+            Some(TruthTable::from_gate(GateKind::Nor, 2)),
+        );
         b.output("y");
         let n = b.finish().unwrap();
         let rep = signal_probabilities(&n);
@@ -204,7 +211,10 @@ mod tests {
 
     #[test]
     fn activity_is_2p1p() {
-        let rep = ProbabilityReport { p_one: vec![0.25], iterations: 1 };
+        let rep = ProbabilityReport {
+            p_one: vec![0.25],
+            iterations: 1,
+        };
         assert!((rep.activity(NodeId::from_index(0)) - 0.375).abs() < 1e-12);
     }
 }

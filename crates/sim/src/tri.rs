@@ -26,7 +26,10 @@ pub struct TriWord {
 impl TriWord {
     /// A fully known word.
     pub fn known(value: u64) -> Self {
-        TriWord { value, known: u64::MAX }
+        TriWord {
+            value,
+            known: u64::MAX,
+        }
     }
 
     /// An all-X word.
@@ -151,8 +154,7 @@ impl<'a> TriSimulator<'a> {
     fn eval_node(&self, id: NodeId) -> TriWord {
         match self.netlist.node(id) {
             Node::Gate { kind, fanin } => {
-                let words: Vec<TriWord> =
-                    fanin.iter().map(|f| self.values[f.index()]).collect();
+                let words: Vec<TriWord> = fanin.iter().map(|f| self.values[f.index()]).collect();
                 eval_gate_tri(*kind, &words)
             }
             Node::Lut { fanin, config } => match config {
@@ -293,28 +295,42 @@ fn eval_gate_tri(kind: GateKind, words: &[TriWord]) -> TriWord {
             known: words[0].known,
         },
         And | Nand => {
-            let any_zero = words
-                .iter()
-                .fold(0u64, |a, w| a | (!w.value & w.known));
+            let any_zero = words.iter().fold(0u64, |a, w| a | (!w.value & w.known));
             let all_one = words.iter().fold(u64::MAX, |a, w| a & w.value & w.known);
             let known = any_zero | all_one;
             let value = all_one;
-            invert_if(kind == Nand, TriWord { value: value & known, known })
+            invert_if(
+                kind == Nand,
+                TriWord {
+                    value: value & known,
+                    known,
+                },
+            )
         }
         Or | Nor => {
             let any_one = words.iter().fold(0u64, |a, w| a | (w.value & w.known));
-            let all_zero = words
-                .iter()
-                .fold(u64::MAX, |a, w| a & (!w.value & w.known));
+            let all_zero = words.iter().fold(u64::MAX, |a, w| a & (!w.value & w.known));
             let known = any_one | all_zero;
             let value = any_one;
-            invert_if(kind == Nor, TriWord { value: value & known, known })
+            invert_if(
+                kind == Nor,
+                TriWord {
+                    value: value & known,
+                    known,
+                },
+            )
         }
         Xor | Xnor => {
             // Parity is known only when every input is known.
             let known = words.iter().fold(u64::MAX, |a, w| a & w.known);
             let value = words.iter().fold(0u64, |a, w| a ^ w.value);
-            invert_if(kind == Xnor, TriWord { value: value & known, known })
+            invert_if(
+                kind == Xnor,
+                TriWord {
+                    value: value & known,
+                    known,
+                },
+            )
         }
     }
 }
@@ -383,7 +399,13 @@ mod tests {
 
         let mut sim = TriSimulator::new(&stripped);
         let outs = sim
-            .step(&[u64::MAX, u64::MAX], &[Forced { node: g, value: u64::MAX }])
+            .step(
+                &[u64::MAX, u64::MAX],
+                &[Forced {
+                    node: g,
+                    value: u64::MAX,
+                }],
+            )
             .unwrap();
         assert_eq!(outs[0], TriWord::known(u64::MAX));
     }
@@ -407,7 +429,10 @@ mod tests {
             sim.step(&[c, 0], &[Forced { node: x, value: v }]).unwrap()[0]
         };
         // c = 1: observable
-        assert_eq!(run(u64::MAX, 0).known_difference(run(u64::MAX, u64::MAX)), u64::MAX);
+        assert_eq!(
+            run(u64::MAX, 0).known_difference(run(u64::MAX, u64::MAX)),
+            u64::MAX
+        );
         // c = 0: masked
         assert_eq!(run(0, 0).known_difference(run(0, u64::MAX)), 0);
     }
@@ -425,7 +450,13 @@ mod tests {
         let y = n.find("y").unwrap();
 
         let mut sim = TriSimulator::new(&n);
-        sim.set_partial_lut(y, PartialLut { resolved: 0b1000, bits: 0b1000 });
+        sim.set_partial_lut(
+            y,
+            PartialLut {
+                resolved: 0b1000,
+                bits: 0b1000,
+            },
+        );
         // Lane pattern: a = 1 everywhere, c = 1 on the low 32 lanes only.
         let c = 0x0000_0000_FFFF_FFFFu64;
         let outs = sim.step(&[u64::MAX, c], &[]).unwrap();

@@ -37,6 +37,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod incremental;
+
+pub use incremental::IncrementalSta;
+
 use sttlock_netlist::{graph, Netlist, Node, NodeId};
 use sttlock_techlib::Library;
 
@@ -122,7 +126,7 @@ pub fn analyze(netlist: &Netlist, lib: &Library) -> TimingAnalysis {
     let setup = lib.dff().setup_ns;
     let mut worst: Option<(NodeId, f64)> = None;
     let mut consider = |endpoint: NodeId, t: f64| {
-        if worst.map_or(true, |(_, wt)| t > wt) {
+        if worst.is_none_or(|(_, wt)| t > wt) {
             worst = Some((endpoint, t));
         }
     };
@@ -205,15 +209,28 @@ pub fn analyze(netlist: &Netlist, lib: &Library) -> TimingAnalysis {
     }
 }
 
-/// Relative performance degradation (%) of `hybrid` against `baseline`:
-/// the Table I metric. Zero when the hybrid meets the baseline period
-/// (LUTs landed off the critical path); never negative.
-pub fn performance_degradation_pct(baseline: &TimingAnalysis, hybrid: &TimingAnalysis) -> f64 {
-    if baseline.clock_period_ns <= 0.0 {
-        return 0.0;
+/// Relative clock-period change (%) between two raw periods: the
+/// Table I metric. Positive when `hybrid_ns` is slower, zero when the
+/// periods match (LUTs landed off the critical path), **negative** when
+/// the hybrid is faster — callers comparing against a budget must not
+/// assume a clamped value.
+///
+/// A non-positive baseline (no timed endpoints at all) cannot be
+/// degraded *relatively*: any nonzero hybrid period is reported as
+/// `INFINITY`, which deliberately fails every `<= budget` check, and a
+/// zero hybrid period as `0.0`.
+pub fn degradation_pct_from_periods(baseline_ns: f64, hybrid_ns: f64) -> f64 {
+    if baseline_ns <= 0.0 {
+        return if hybrid_ns > 0.0 { f64::INFINITY } else { 0.0 };
     }
-    let delta = hybrid.clock_period_ns - baseline.clock_period_ns;
-    (delta / baseline.clock_period_ns * 100.0).max(0.0)
+    (hybrid_ns - baseline_ns) / baseline_ns * 100.0
+}
+
+/// Relative performance degradation (%) of `hybrid` against `baseline`;
+/// see [`degradation_pct_from_periods`] for the sign and zero-baseline
+/// conventions.
+pub fn performance_degradation_pct(baseline: &TimingAnalysis, hybrid: &TimingAnalysis) -> f64 {
+    degradation_pct_from_periods(baseline.clock_period_ns, hybrid.clock_period_ns)
 }
 
 #[cfg(test)]
@@ -341,10 +358,24 @@ mod tests {
     }
 
     #[test]
-    fn degradation_never_negative() {
+    fn degradation_zero_for_identical_timing() {
         let n = two_stage();
         let l = lib();
         let t = analyze(&n, &l);
         assert_eq!(performance_degradation_pct(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn degradation_is_signed_and_handles_zero_baseline() {
+        // Signed both ways.
+        assert_eq!(degradation_pct_from_periods(2.0, 1.0), -50.0);
+        assert_eq!(degradation_pct_from_periods(1.0, 2.0), 100.0);
+        assert_eq!(degradation_pct_from_periods(1.5, 1.5), 0.0);
+        // Zero baseline: any real period is an unbounded relative
+        // slowdown and must fail a `<= budget` comparison...
+        assert_eq!(degradation_pct_from_periods(0.0, 0.5), f64::INFINITY);
+        assert!(degradation_pct_from_periods(0.0, 0.5) > 100.0);
+        // ...while "still nothing timed" is no degradation at all.
+        assert_eq!(degradation_pct_from_periods(0.0, 0.0), 0.0);
     }
 }

@@ -179,7 +179,8 @@ mod tests {
     #[test]
     fn nor_slows_faster_than_nand_with_fanin() {
         let lib = CmosLibrary::predictive_90nm();
-        let nand_ratio = lib.gate(GateKind::Nand, 4).delay_ns / lib.gate(GateKind::Nand, 2).delay_ns;
+        let nand_ratio =
+            lib.gate(GateKind::Nand, 4).delay_ns / lib.gate(GateKind::Nand, 2).delay_ns;
         let nor_ratio = lib.gate(GateKind::Nor, 4).delay_ns / lib.gate(GateKind::Nor, 2).delay_ns;
         assert!(nor_ratio > nand_ratio, "PMOS stack penalty missing");
     }
@@ -187,12 +188,8 @@ mod tests {
     #[test]
     fn stacking_reduces_nand_leakage() {
         let lib = CmosLibrary::predictive_90nm();
-        assert!(
-            lib.gate(GateKind::Nand, 4).leakage_nw < lib.gate(GateKind::Nand, 2).leakage_nw
-        );
-        assert!(
-            lib.gate(GateKind::Xor, 4).leakage_nw > lib.gate(GateKind::Xor, 2).leakage_nw
-        );
+        assert!(lib.gate(GateKind::Nand, 4).leakage_nw < lib.gate(GateKind::Nand, 2).leakage_nw);
+        assert!(lib.gate(GateKind::Xor, 4).leakage_nw > lib.gate(GateKind::Xor, 2).leakage_nw);
     }
 
     #[test]

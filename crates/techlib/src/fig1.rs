@@ -121,16 +121,26 @@ mod tests {
     #[test]
     fn delay_overhead_shrinks_with_complexity() {
         // "as the circuit complexity increases this overhead reduces"
-        assert!(published(GateKind::Nand, 4).unwrap().delay < published(GateKind::Nand, 2).unwrap().delay);
-        assert!(published(GateKind::Nor, 4).unwrap().delay < published(GateKind::Nor, 2).unwrap().delay);
-        assert!(published(GateKind::Xor, 4).unwrap().delay < published(GateKind::Xor, 2).unwrap().delay);
+        assert!(
+            published(GateKind::Nand, 4).unwrap().delay
+                < published(GateKind::Nand, 2).unwrap().delay
+        );
+        assert!(
+            published(GateKind::Nor, 4).unwrap().delay < published(GateKind::Nor, 2).unwrap().delay
+        );
+        assert!(
+            published(GateKind::Xor, 4).unwrap().delay < published(GateKind::Xor, 2).unwrap().delay
+        );
     }
 
     #[test]
     fn stacking_erodes_standby_advantage() {
         // High fan-in NAND/NOR static CMOS leaks less (stacking effect),
         // so the LUT's relative standby power rises above 1 at fan-in 4.
-        assert!(published(GateKind::Nand, 4).unwrap().standby_power > published(GateKind::Nand, 2).unwrap().standby_power);
+        assert!(
+            published(GateKind::Nand, 4).unwrap().standby_power
+                > published(GateKind::Nand, 2).unwrap().standby_power
+        );
         assert!(published(GateKind::Nor, 4).unwrap().standby_power > 1.0);
     }
 }

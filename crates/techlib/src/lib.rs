@@ -37,9 +37,9 @@
 #![warn(missing_docs)]
 
 pub mod cmos;
-pub mod textfmt;
 pub mod fig1;
 pub mod stt;
+pub mod textfmt;
 
 pub use cmos::{CellParams, CmosLibrary, DffParams};
 pub use stt::{LutParams, SttLibrary};
@@ -71,7 +71,11 @@ impl Library {
     /// Builds a library from explicit parts.
     pub fn new(cmos: CmosLibrary, stt: SttLibrary, clock_ghz: f64) -> Self {
         assert!(clock_ghz > 0.0, "clock frequency must be positive");
-        Library { cmos, stt, clock_ghz }
+        Library {
+            cmos,
+            stt,
+            clock_ghz,
+        }
     }
 
     /// Parameters of the CMOS cell implementing `kind` at `fanin`.

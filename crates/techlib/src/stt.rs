@@ -155,7 +155,10 @@ impl SttLibrary {
                 (1..=6).contains(&fanin),
                 "STT LUT fan-in must be between 1 and 6, got {fanin}"
             );
-            assert_eq!(params.fanin, fanin, "override fan-in field must match its key");
+            assert_eq!(
+                params.fanin, fanin,
+                "override fan-in field must match its key"
+            );
             self.luts[fanin - 1] = params;
         }
         self

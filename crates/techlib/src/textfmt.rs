@@ -41,7 +41,11 @@ pub struct ParseLibraryError {
 
 impl fmt::Display for ParseLibraryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "library parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "library parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -112,7 +116,10 @@ pub fn parse_library(text: &str) -> Result<Library, ParseLibraryError> {
         if line.is_empty() {
             continue;
         }
-        let err = |message: String| ParseLibraryError { line: lineno + 1, message };
+        let err = |message: String| ParseLibraryError {
+            line: lineno + 1,
+            message,
+        };
         let mut words = line.split_whitespace();
         match words.next().expect("nonempty line has a word") {
             "library" => {} // informative only
@@ -123,18 +130,19 @@ pub fn parse_library(text: &str) -> Result<Library, ParseLibraryError> {
                     .ok_or_else(|| err("clock_ghz needs a number".into()))?;
             }
             "dff" => {
-                let f = parse_fields(words, &mut |_| true)
-                    .map_err(|m| err(m))?;
+                let f = parse_fields(words, &mut |_| true).map_err(&err)?;
                 dff = Some(DffParams {
-                    clk_to_q_ns: field(&f, "clk_to_q").map_err(|m| err(m))?,
-                    setup_ns: field(&f, "setup").map_err(|m| err(m))?,
-                    clock_energy_fj: field(&f, "energy").map_err(|m| err(m))?,
-                    leakage_nw: field(&f, "leakage").map_err(|m| err(m))?,
-                    area_um2: field(&f, "area").map_err(|m| err(m))?,
+                    clk_to_q_ns: field(&f, "clk_to_q").map_err(&err)?,
+                    setup_ns: field(&f, "setup").map_err(&err)?,
+                    clock_energy_fj: field(&f, "energy").map_err(&err)?,
+                    leakage_nw: field(&f, "leakage").map_err(&err)?,
+                    area_um2: field(&f, "area").map_err(&err)?,
                 });
             }
             "cell" => {
-                let kind_word = words.next().ok_or_else(|| err("cell needs a kind".into()))?;
+                let kind_word = words
+                    .next()
+                    .ok_or_else(|| err("cell needs a kind".into()))?;
                 let kind = GateKind::from_bench_keyword(kind_word)
                     .ok_or_else(|| err(format!("unknown cell kind `{kind_word}`")))?;
                 let fanin: usize = words
@@ -144,14 +152,14 @@ pub fn parse_library(text: &str) -> Result<Library, ParseLibraryError> {
                 if !kind.arity_ok(fanin) {
                     return Err(err(format!("{kind} cannot have fan-in {fanin}")));
                 }
-                let f = parse_fields(words, &mut |_| true).map_err(|m| err(m))?;
+                let f = parse_fields(words, &mut |_| true).map_err(&err)?;
                 overrides.insert(
                     (kind, fanin),
                     CellParams {
-                        delay_ns: field(&f, "delay").map_err(|m| err(m))?,
-                        switch_energy_fj: field(&f, "energy").map_err(|m| err(m))?,
-                        leakage_nw: field(&f, "leakage").map_err(|m| err(m))?,
-                        area_um2: field(&f, "area").map_err(|m| err(m))?,
+                        delay_ns: field(&f, "delay").map_err(&err)?,
+                        switch_energy_fj: field(&f, "energy").map_err(&err)?,
+                        leakage_nw: field(&f, "leakage").map_err(&err)?,
+                        area_um2: field(&f, "area").map_err(&err)?,
                     },
                 );
             }
@@ -163,19 +171,18 @@ pub fn parse_library(text: &str) -> Result<Library, ParseLibraryError> {
                 if !(1..=6).contains(&fanin) {
                     return Err(err(format!("lut fan-in {fanin} outside 1..=6")));
                 }
-                let f = parse_fields(words, &mut |_| true).map_err(|m| err(m))?;
+                let f = parse_fields(words, &mut |_| true).map_err(&err)?;
                 luts.insert(
                     fanin,
                     LutParams {
                         fanin,
-                        delay_ns: field(&f, "delay").map_err(|m| err(m))?,
-                        cycle_energy_fj: field(&f, "cycle_energy").map_err(|m| err(m))?,
-                        microbench_cycle_energy_fj: field(&f, "microbench_energy")
-                            .map_err(|m| err(m))?,
-                        standby_nw: field(&f, "standby").map_err(|m| err(m))?,
-                        area_um2: field(&f, "area").map_err(|m| err(m))?,
-                        write_energy_per_bit_pj: field(&f, "write_energy").map_err(|m| err(m))?,
-                        write_latency_ns: field(&f, "write_latency").map_err(|m| err(m))?,
+                        delay_ns: field(&f, "delay").map_err(&err)?,
+                        cycle_energy_fj: field(&f, "cycle_energy").map_err(&err)?,
+                        microbench_cycle_energy_fj: field(&f, "microbench_energy").map_err(&err)?,
+                        standby_nw: field(&f, "standby").map_err(&err)?,
+                        area_um2: field(&f, "area").map_err(&err)?,
+                        write_energy_per_bit_pj: field(&f, "write_energy").map_err(&err)?,
+                        write_latency_ns: field(&f, "write_latency").map_err(&err)?,
                     },
                 );
             }

@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let sens = sensitization::run(
             &redacted,
             &out.hybrid,
-            &SensitizationConfig { patterns_per_gate: 256, sat_justification: true },
+            &SensitizationConfig {
+                patterns_per_gate: 256,
+                sat_justification: true,
+            },
             &mut rng,
         )?;
 
@@ -79,7 +82,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut rng = StdRng::seed_from_u64(23);
             let mismatches =
                 sat_attack::verify_bitstream(&redacted, &out.hybrid, bits, 32, &mut rng)?;
-            assert_eq!(mismatches, 0, "SAT-recovered keys must be functionally exact");
+            assert_eq!(
+                mismatches, 0,
+                "SAT-recovered keys must be functionally exact"
+            );
         }
     }
 

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- compare the three selection algorithms ------------------------
     let flow = Flow::new(Library::predictive_90nm());
-    println!("{:<18} {:>6} {:>8} {:>8} {:>8} {:>12}", "algorithm", "#LUT", "perf%", "power%", "area%", "security");
+    println!(
+        "{:<18} {:>6} {:>8} {:>8} {:>8} {:>12}",
+        "algorithm", "#LUT", "perf%", "power%", "area%", "security"
+    );
     let mut chosen = None;
     for alg in SelectionAlgorithm::ALL {
         let out = flow.run(&netlist, alg, 42)?;
@@ -67,10 +70,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- manufacture + program -----------------------------------------
     let rtl = verilog::write(&foundry);
-    println!("foundry receives {} lines of structural Verilog, zero config bits", rtl.lines().count());
+    println!(
+        "foundry receives {} lines of structural Verilog, zero config bits",
+        rtl.lines().count()
+    );
     let mut fabricated = verilog::parse(&rtl)?;
     fabricated.program(&bitstream);
-    println!("design house programs {} LUT configurations post-fab", bitstream.len());
+    println!(
+        "design house programs {} LUT configurations post-fab",
+        bitstream.len()
+    );
 
     // --- verify the programmed part ------------------------------------
     let mut golden = Simulator::new(&netlist)?;

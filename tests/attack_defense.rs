@@ -11,7 +11,10 @@ use sttlock::benchgen::Profile;
 use sttlock::core::{Flow, SelectionAlgorithm};
 use sttlock::techlib::Library;
 
-fn locked(alg: SelectionAlgorithm, seed: u64) -> (sttlock::netlist::Netlist, sttlock::netlist::Netlist) {
+fn locked(
+    alg: SelectionAlgorithm,
+    seed: u64,
+) -> (sttlock::netlist::Netlist, sttlock::netlist::Netlist) {
     let profile = Profile::custom("ad", 160, 8, 9, 7);
     let netlist = profile.generate(&mut StdRng::seed_from_u64(3));
     let flow = Flow::new(Library::predictive_90nm());
@@ -21,7 +24,10 @@ fn locked(alg: SelectionAlgorithm, seed: u64) -> (sttlock::netlist::Netlist, stt
 
 #[test]
 fn sensitization_breaks_independent_but_not_dependent() {
-    let cfg = SensitizationConfig { patterns_per_gate: 128, sat_justification: true };
+    let cfg = SensitizationConfig {
+        patterns_per_gate: 128,
+        sat_justification: true,
+    };
 
     let (redacted, oracle) = locked(SelectionAlgorithm::Independent, 42);
     let mut rng = StdRng::seed_from_u64(1);
@@ -46,7 +52,10 @@ fn sensitization_breaks_independent_but_not_dependent() {
 #[test]
 fn recovered_bitstreams_reproduce_the_oracle() {
     let (redacted, oracle) = locked(SelectionAlgorithm::Independent, 7);
-    let cfg = SensitizationConfig { patterns_per_gate: 128, sat_justification: true };
+    let cfg = SensitizationConfig {
+        patterns_per_gate: 128,
+        sat_justification: true,
+    };
     let mut rng = StdRng::seed_from_u64(2);
     let out = sensitization::run(&redacted, &oracle, &cfg, &mut rng).expect("attack runs");
     if out.is_full_break() {
@@ -62,14 +71,17 @@ fn recovered_bitstreams_reproduce_the_oracle() {
 fn sat_attack_recovers_any_selection_with_scan_access() {
     for alg in SelectionAlgorithm::ALL {
         let (redacted, oracle) = locked(alg, 11);
-        let out = sat_attack::run(&redacted, &oracle, &SatAttackConfig::default())
-            .expect("attack runs");
+        let out =
+            sat_attack::run(&redacted, &oracle, &SatAttackConfig::default()).expect("attack runs");
         assert!(out.succeeded(), "{alg}: SAT attack with scan must succeed");
         let bits = out.bitstream.expect("succeeded");
         let mut rng = StdRng::seed_from_u64(5);
         let mismatches = sat_attack::verify_bitstream(&redacted, &oracle, &bits, 64, &mut rng)
             .expect("verification runs");
-        assert_eq!(mismatches, 0, "{alg}: recovered keys must be functionally exact");
+        assert_eq!(
+            mismatches, 0,
+            "{alg}: recovered keys must be functionally exact"
+        );
     }
 }
 

@@ -68,7 +68,10 @@ fn reports_are_internally_consistent() {
         let r = &out.report;
         assert!(r.performance_degradation_pct >= 0.0);
         assert!(r.power_overhead_pct > 0.0, "{alg}: LUTs draw extra power");
-        assert!(r.area_overhead_pct > 0.0, "{alg}: LUTs are bigger than cells");
+        assert!(
+            r.area_overhead_pct > 0.0,
+            "{alg}: LUTs are bigger than cells"
+        );
         assert_eq!(out.bitstream.len(), r.stt_count);
         assert!(r.security.n_dep.log10() >= 0.0);
     }
@@ -97,9 +100,15 @@ fn security_ordering_matches_figure_3() {
     let flow = Flow::new(Library::predictive_90nm());
     let profile = profiles::by_name("s1238").unwrap();
     let netlist = profile.generate(&mut StdRng::seed_from_u64(23));
-    let indep = flow.run(&netlist, SelectionAlgorithm::Independent, 1).unwrap();
-    let dep = flow.run(&netlist, SelectionAlgorithm::Dependent, 1).unwrap();
-    let para = flow.run(&netlist, SelectionAlgorithm::ParametricAware, 1).unwrap();
+    let indep = flow
+        .run(&netlist, SelectionAlgorithm::Independent, 1)
+        .unwrap();
+    let dep = flow
+        .run(&netlist, SelectionAlgorithm::Dependent, 1)
+        .unwrap();
+    let para = flow
+        .run(&netlist, SelectionAlgorithm::ParametricAware, 1)
+        .unwrap();
     // Equation 1 is linear; Equations 2-3 are products/exponentials.
     assert!(dep.report.security.n_dep.log10() > indep.report.security.n_indep.log10());
     assert!(para.report.security.n_bf.log10() > indep.report.security.n_indep.log10());

@@ -37,7 +37,10 @@ fn fig1_trends_hold_in_the_calibrated_model() {
     // Delay overhead shrinks with gate complexity (NAND2 → NAND4).
     let r2 = lib.lut(2).delay_ns / lib.gate(GateKind::Nand, 2).delay_ns;
     let r4 = lib.lut(4).delay_ns / lib.gate(GateKind::Nand, 4).delay_ns;
-    assert!(r4 < r2, "complexity must shrink the LUT overhead: {r2:.2} -> {r4:.2}");
+    assert!(
+        r4 < r2,
+        "complexity must shrink the LUT overhead: {r2:.2} -> {r4:.2}"
+    );
 }
 
 /// Table I: algorithm ordering and size trends on the four smallest and
@@ -53,9 +56,15 @@ fn table1_shape_holds() {
 
     for profile in profiles::up_to(3000) {
         let netlist = profile.generate(&mut StdRng::seed_from_u64(42));
-        let indep = flow.run(&netlist, SelectionAlgorithm::Independent, 42).unwrap();
-        let dep = flow.run(&netlist, SelectionAlgorithm::Dependent, 42).unwrap();
-        let para = flow.run(&netlist, SelectionAlgorithm::ParametricAware, 42).unwrap();
+        let indep = flow
+            .run(&netlist, SelectionAlgorithm::Independent, 42)
+            .unwrap();
+        let dep = flow
+            .run(&netlist, SelectionAlgorithm::Dependent, 42)
+            .unwrap();
+        let para = flow
+            .run(&netlist, SelectionAlgorithm::ParametricAware, 42)
+            .unwrap();
 
         // Independent always inserts exactly 5 LUTs (the paper's setup).
         assert_eq!(indep.report.stt_count, 5, "{}", profile.name);
@@ -77,7 +86,10 @@ fn table1_shape_holds() {
         "dependent ({dep_perf_sum:.1}) must degrade more than independent ({indep_perf_sum:.1})"
     );
     // Parametric-aware stays within its (default 5 %) budget everywhere.
-    assert!(para_perf_max <= 5.0 + 1e-6, "parametric max {para_perf_max:.2}%");
+    assert!(
+        para_perf_max <= 5.0 + 1e-6,
+        "parametric max {para_perf_max:.2}%"
+    );
     // Overheads shrink with circuit size (fixed 5 LUTs dilute).
     let (small, large) = (small_indep_power.unwrap(), large_indep_power.unwrap());
     assert!(
@@ -95,9 +107,15 @@ fn fig3_shape_holds() {
     for name in ["s641", "s1238", "s5378a"] {
         let profile = profiles::by_name(name).unwrap();
         let netlist = profile.generate(&mut StdRng::seed_from_u64(42));
-        let indep = flow.run(&netlist, SelectionAlgorithm::Independent, 42).unwrap();
-        let dep = flow.run(&netlist, SelectionAlgorithm::Dependent, 42).unwrap();
-        let para = flow.run(&netlist, SelectionAlgorithm::ParametricAware, 42).unwrap();
+        let indep = flow
+            .run(&netlist, SelectionAlgorithm::Independent, 42)
+            .unwrap();
+        let dep = flow
+            .run(&netlist, SelectionAlgorithm::Dependent, 42)
+            .unwrap();
+        let para = flow
+            .run(&netlist, SelectionAlgorithm::ParametricAware, 42)
+            .unwrap();
 
         let n_i = indep.report.security.n_indep.log10();
         let n_d = dep.report.security.n_dep.log10();
