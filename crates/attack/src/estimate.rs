@@ -28,6 +28,22 @@ pub struct BigEffort {
     log10: f64,
 }
 
+/// Largest log₁₀ magnitude that still exponentiates to a finite `f64`
+/// (`f64::MAX ≈ 1.798e308`). Every conversion out of the log domain
+/// saturates here instead of overflowing to `inf`.
+const MAX_FINITE_LOG10: f64 = 308.0;
+
+/// `10^log10`, saturating at ~1e308 so the result is always finite.
+///
+/// This is the single place the log-domain arithmetic leaves the log
+/// domain; [`BigEffort::clocks`] and [`BigEffort::years_at`] both clamp
+/// through it (they previously carried hand-copied `min(308.0)` calls).
+/// Underflow needs no clamp: `10^x` for very negative `x` flushes to
+/// `0.0`, which is the correct saturation.
+fn pow10_saturating(log10: f64) -> f64 {
+    10f64.powf(log10.min(MAX_FINITE_LOG10))
+}
+
 impl BigEffort {
     /// One unit of effort (a single test clock).
     pub const ONE: BigEffort = BigEffort { log10: 0.0 };
@@ -54,9 +70,9 @@ impl BigEffort {
         self.log10
     }
 
-    /// The plain count, saturating at `f64::MAX`.
+    /// The plain count, saturating at ~1e308 (finite, never `inf`).
     pub fn clocks(self) -> f64 {
-        10f64.powf(self.log10.min(308.0))
+        pow10_saturating(self.log10)
     }
 
     /// Multiplies two efforts (adds magnitudes).
@@ -84,7 +100,7 @@ impl BigEffort {
     /// 10⁹ patterns per second on modern testing equipment).
     pub fn years_at(self, patterns_per_second: f64) -> f64 {
         let secs_log = self.log10 - patterns_per_second.log10();
-        10f64.powf((secs_log - (365.25 * 24.0 * 3600.0f64).log10()).min(308.0))
+        pow10_saturating(secs_log - (365.25 * 24.0 * 3600.0f64).log10())
     }
 }
 
@@ -92,7 +108,10 @@ impl fmt::Display for BigEffort {
     /// Scientific notation matching the paper's "6.07E+219" style.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let exp = self.log10.floor();
-        let mantissa = 10f64.powf(self.log10 - exp);
+        // The fractional part is in [0, 1), so this particular exit from
+        // the log domain cannot overflow — routed through the shared
+        // saturating helper anyway so every exit clamps identically.
+        let mantissa = pow10_saturating(self.log10 - exp);
         write!(f, "{:.2}E+{:02}", mantissa, exp as i64)
     }
 }
@@ -280,6 +299,46 @@ mod tests {
         let c = a.plus(a);
         assert!((c.clocks() - 2000.0).abs() < 1e-6);
         assert_eq!(BigEffort::from_log10(219.783).to_string(), "6.07E+219");
+    }
+
+    #[test]
+    fn pow10_saturates_at_the_overflow_boundary() {
+        // Below the clamp: exact exponentiation.
+        assert!((pow10_saturating(300.0) - 1e300).abs() / 1e300 < 1e-12);
+        // At and past the clamp: finite, monotone-capped, never inf.
+        let cap = pow10_saturating(MAX_FINITE_LOG10);
+        assert!(cap.is_finite());
+        assert_eq!(pow10_saturating(308.5), cap);
+        assert_eq!(pow10_saturating(1e6), cap);
+        assert_eq!(pow10_saturating(f64::INFINITY), cap);
+        // Underflow flushes to zero without any clamp.
+        assert_eq!(pow10_saturating(-400.0), 0.0);
+    }
+
+    #[test]
+    fn clocks_and_years_stay_finite_past_the_boundary() {
+        let huge = BigEffort::from_log10(656.0); // s38584 parametric scale
+        assert!(huge.clocks().is_finite());
+        assert!(huge.years_at(1e9).is_finite());
+        // Displays still render the true exponent, unclamped.
+        assert!(huge.to_string().ends_with("E+656"));
+    }
+
+    #[test]
+    fn plus_merge_handles_zero_and_negative_deltas() {
+        // Zero delta (hi == lo): exactly doubles.
+        let a = BigEffort::from_log10(10.0);
+        let sum = a.plus(a);
+        assert!((sum.log10() - (10.0 + 2f64.log10())).abs() < 1e-12);
+        // Large negative delta: the small term underflows cleanly and
+        // the merge returns hi unchanged — no NaN, no inf.
+        let tiny = BigEffort::from_log10(-400.0);
+        let big = BigEffort::from_log10(308.0);
+        assert_eq!(big.plus(tiny).log10(), 308.0);
+        assert_eq!(tiny.plus(big).log10(), 308.0);
+        // Order independence around the hi/lo swap.
+        let b = BigEffort::from_log10(9.0);
+        assert!((a.plus(b).log10() - b.plus(a).log10()).abs() < 1e-12);
     }
 
     #[test]

@@ -31,6 +31,9 @@
 
 pub mod alpha;
 pub mod camouflage;
+pub mod error;
 pub mod estimate;
 pub mod sat_attack;
 pub mod sensitization;
+
+pub use error::AttackError;

@@ -19,6 +19,8 @@ use sttlock_sat::unroll::encode_unrolled;
 use sttlock_sat::{Lit, SatResult, Solver, SolverStats, Var};
 use sttlock_sim::{SimError, Simulator};
 
+use crate::error::AttackError;
+
 /// Attack limits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SatAttackConfig {
@@ -58,24 +60,26 @@ impl SatAttackOutcome {
 ///
 /// # Errors
 ///
-/// Returns [`SimError`] if the oracle is unprogrammed or structurally
-/// incompatible.
-///
-/// # Panics
-///
-/// Panics if `redacted` and `oracle` are not the same design, or if the
-/// key constraints ever contradict the oracle (impossible for a genuine
-/// programmed twin).
+/// * [`AttackError::Sim`] if the oracle is unprogrammed or structurally
+///   incompatible.
+/// * [`AttackError::DesignMismatch`] if `redacted` and `oracle` are not
+///   the same design (these used to be `assert_eq!` process aborts).
+/// * [`AttackError::OracleContradiction`] /
+///   [`AttackError::Unsatisfiable`] if an oracle response contradicts
+///   the key constraints — impossible for a genuine programmed twin,
+///   and formerly an `assert!` abort; batch drivers record it as a
+///   failed cell instead.
 pub fn run(
     redacted: &Netlist,
     oracle: &Netlist,
     cfg: &SatAttackConfig,
-) -> Result<SatAttackOutcome, SimError> {
-    assert_eq!(
-        redacted.len(),
-        oracle.len(),
-        "netlists must be the same design"
-    );
+) -> Result<SatAttackOutcome, AttackError> {
+    if redacted.len() != oracle.len() {
+        return Err(AttackError::DesignMismatch {
+            redacted: redacted.len(),
+            oracle: oracle.len(),
+        });
+    }
     let mut oracle_sim = Simulator::new(oracle)?;
 
     let mut solver = Solver::new();
@@ -122,9 +126,9 @@ pub fn run(
                 // this frame: constrain each copy with a fresh encoding
                 // whose keys are tied to that copy.
                 for enc in [&e1, &e2] {
-                    let ok =
-                        add_io_constraint(&mut solver, redacted, enc, &inputs, &state, &response);
-                    assert!(ok, "oracle response contradicts the key constraints");
+                    if !add_io_constraint(&mut solver, redacted, enc, &inputs, &state, &response) {
+                        return Err(AttackError::OracleContradiction);
+                    }
                 }
             }
         }
@@ -132,8 +136,9 @@ pub fn run(
 
     // Key space collapsed: any remaining key is functionally correct.
     // Solve without the miter to extract one.
-    let res = solver.solve();
-    assert_eq!(res, SatResult::Sat, "constraint set must stay satisfiable");
+    if solver.solve() != SatResult::Sat {
+        return Err(AttackError::Unsatisfiable);
+    }
     let bitstream = e1.decode_keys(&solver);
     Ok(SatAttackOutcome {
         bitstream: Some(bitstream),
@@ -190,21 +195,26 @@ pub struct SequentialAttackOutcome {
 ///
 /// # Errors
 ///
-/// Returns [`SimError`] if the oracle is unprogrammed or incompatible.
-///
-/// # Panics
-///
-/// Panics if the netlists are not the same design or `cfg.frames` is 0.
+/// * [`AttackError::Sim`] if the oracle is unprogrammed or incompatible.
+/// * [`AttackError::DesignMismatch`] / [`AttackError::ZeroFrames`] on a
+///   mismatched netlist pair or a zero unroll bound (formerly panics).
+/// * [`AttackError::OracleContradiction`] /
+///   [`AttackError::Unsatisfiable`] if the oracle contradicts the key
+///   constraints (formerly an `assert!` abort).
 pub fn run_sequential(
     redacted: &Netlist,
     oracle: &Netlist,
     cfg: &SequentialAttackConfig,
-) -> Result<SequentialAttackOutcome, SimError> {
-    assert_eq!(
-        redacted.len(),
-        oracle.len(),
-        "netlists must be the same design"
-    );
+) -> Result<SequentialAttackOutcome, AttackError> {
+    if redacted.len() != oracle.len() {
+        return Err(AttackError::DesignMismatch {
+            redacted: redacted.len(),
+            oracle: oracle.len(),
+        });
+    }
+    if cfg.frames == 0 {
+        return Err(AttackError::ZeroFrames);
+    }
     let mut oracle_sim = Simulator::new(oracle)?;
     let k = cfg.frames;
 
@@ -259,21 +269,26 @@ pub fn run_sequential(
                 for base in [&u1, &u2] {
                     let copy = encode_unrolled(redacted, &mut solver, k);
                     sttlock_sat::encode::tie_keys(&mut solver, &base.frames[0], &copy.frames[0]);
+                    let mut ok = true;
                     for f in 0..k {
                         for (&v, &w) in copy.inputs[f].iter().zip(&sequence[f]) {
-                            solver.add_clause(&[Lit::new(v, w & 1 == 0)]);
+                            ok &= solver.add_clause(&[Lit::new(v, w & 1 == 0)]);
                         }
                         for (&v, &w) in copy.outputs[f].iter().zip(&responses[f]) {
-                            solver.add_clause(&[Lit::new(v, w & 1 == 0)]);
+                            ok &= solver.add_clause(&[Lit::new(v, w & 1 == 0)]);
                         }
+                    }
+                    if !ok {
+                        return Err(AttackError::OracleContradiction);
                     }
                 }
             }
         }
     }
 
-    let res = solver.solve();
-    assert_eq!(res, SatResult::Sat, "constraint set must stay satisfiable");
+    if solver.solve() != SatResult::Sat {
+        return Err(AttackError::Unsatisfiable);
+    }
     let bitstream = u1.frames[0].decode_keys(&solver);
     Ok(SequentialAttackOutcome {
         bitstream: Some(bitstream),
@@ -338,10 +353,22 @@ fn equal(solver: &mut Solver, a: Var, b: Var) {
     solver.add_clause(&[Lit::neg(a), Lit::pos(b)]);
 }
 
+/// Widens one model bit to the simulator's 64-bit word.
+///
+/// `None` means the SAT model left the variable unconstrained. The CDCL
+/// solver only answers [`SatResult::Sat`] once *every* variable is
+/// assigned (see `sat_models_are_total` in `sttlock-sat`), so for
+/// freshly solved DIP extraction this arm is unreachable — but rather
+/// than rely on that invariant silently, an unconstrained variable is
+/// *explicitly pinned to 0*. Pinning is sound: a variable the model
+/// leaves free satisfies the formula under either value, and
+/// [`add_io_constraint`] subsequently pins both key-hypothesis copies to
+/// the same extracted frame, so the solver and the oracle always see
+/// one identical, fully-assigned DIP.
 fn full_word(v: Option<bool>) -> u64 {
     match v {
         Some(true) => u64::MAX,
-        _ => 0,
+        Some(false) | None => 0,
     }
 }
 
@@ -479,6 +506,106 @@ mod tests {
             "no-scan {} vs scan {}",
             noscan.solver_stats.propagations,
             scan.solver_stats.propagations
+        );
+    }
+
+    #[test]
+    fn full_word_pins_unassigned_model_values_to_zero() {
+        // An unconstrained model variable must widen to an explicit,
+        // deterministic pin — never to garbage the oracle cannot see.
+        assert_eq!(full_word(Some(true)), u64::MAX);
+        assert_eq!(full_word(Some(false)), 0);
+        assert_eq!(full_word(None), 0);
+    }
+
+    #[test]
+    fn extracted_dips_are_fully_assigned() {
+        // Regression for the partial-model hazard: every DIP handed to
+        // the oracle must come from a total assignment over the inputs
+        // and state variables of the miter encoding.
+        let (redacted, _) = lock(&["g2"]);
+        let mut solver = Solver::new();
+        let e1 = encode(&redacted, &mut solver);
+        let e2 = encode(&redacted, &mut solver);
+        for (&a, &b) in e1.inputs.iter().zip(&e2.inputs) {
+            equal(&mut solver, a, b);
+        }
+        let pairs = observation_pairs(&e1, &e2);
+        let gate = assert_some_difference_gated(&mut solver, &pairs);
+        assert_eq!(solver.solve_with(&[gate]), SatResult::Sat);
+        for &v in e1
+            .inputs
+            .iter()
+            .chain(e1.state_inputs.iter().map(|(_, v)| v))
+        {
+            assert!(
+                solver.value(v).is_some(),
+                "DIP extraction relies on total SAT models"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_netlists_are_an_error_not_a_panic() {
+        let (redacted, _) = lock(&["g2"]);
+        let mut other = NetlistBuilder::new("other");
+        other.input("x");
+        other.gate("y", GateKind::Not, &["x"]);
+        other.output("y");
+        let other = other.finish().unwrap();
+        match run(&redacted, &other, &SatAttackConfig::default()) {
+            Err(AttackError::DesignMismatch {
+                redacted: r,
+                oracle: o,
+            }) => assert_ne!(r, o),
+            other => panic!("expected DesignMismatch, got {other:?}"),
+        }
+        let cfg = SequentialAttackConfig::default();
+        assert!(matches!(
+            run_sequential(&redacted, &other, &cfg),
+            Err(AttackError::DesignMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn contradictory_oracle_is_a_recorded_failure() {
+        // An "oracle" that is not a programmed twin (same arena, one
+        // tampered gate) cannot be explained by any key: the attack must
+        // surface a typed error instead of aborting the process.
+        let (redacted, _) = lock(&["g2"]);
+        let mut b = NetlistBuilder::new("m");
+        b.input("a");
+        b.input("c");
+        b.input("d");
+        b.gate("g1", GateKind::Nand, &["a", "c"]);
+        b.gate("g2", GateKind::Nor, &["g1", "d"]);
+        b.gate("g3", GateKind::Xor, &["g2", "a"]);
+        b.dff("q", "g3");
+        b.gate("g4", GateKind::Or, &["q", "d"]); // tampered: And -> Or
+        b.output("g4");
+        let mut tampered = b.finish().unwrap();
+        let id = tampered.find("g2").unwrap();
+        tampered.replace_gate_with_lut(id).unwrap();
+        let out = run(&redacted, &tampered, &SatAttackConfig::default());
+        assert!(
+            matches!(
+                out,
+                Err(AttackError::OracleContradiction) | Err(AttackError::Unsatisfiable)
+            ),
+            "got {out:?}"
+        );
+    }
+
+    #[test]
+    fn sequential_zero_frames_is_an_error() {
+        let (redacted, programmed) = lock(&["g2"]);
+        let cfg = SequentialAttackConfig {
+            frames: 0,
+            max_dips: 10,
+        };
+        assert_eq!(
+            run_sequential(&redacted, &programmed, &cfg),
+            Err(AttackError::ZeroFrames)
         );
     }
 

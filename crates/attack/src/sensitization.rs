@@ -48,6 +48,8 @@ use sttlock_sat::{Lit, SatResult, Solver, Var};
 use sttlock_sim::tri::{Forced, PartialLut, TriSimulator};
 use sttlock_sim::{SimError, Simulator};
 
+use crate::error::AttackError;
+
 /// Most interdependent missing gates the joint stage will take on.
 ///
 /// Joint enumeration costs `2^rows` hypotheses (paper Equation 2): fine
@@ -186,24 +188,23 @@ struct AttackState<'a> {
 ///
 /// # Errors
 ///
-/// Returns [`SimError`] if the oracle contains unprogrammed LUTs or the
-/// netlists disagree on I/O arity.
-///
-/// # Panics
-///
-/// Panics if the two netlists have different arena sizes (they must be
-/// the same design).
+/// * [`AttackError::Sim`] if the oracle contains unprogrammed LUTs or
+///   the netlists disagree on I/O arity.
+/// * [`AttackError::DesignMismatch`] if the two netlists have different
+///   arena sizes — formerly an `assert_eq!` process abort, now a typed
+///   failure so batch campaign cells degrade gracefully.
 pub fn run<R: Rng + ?Sized>(
     redacted: &Netlist,
     oracle: &Netlist,
     cfg: &SensitizationConfig,
     rng: &mut R,
-) -> Result<SensitizationOutcome, SimError> {
-    assert_eq!(
-        redacted.len(),
-        oracle.len(),
-        "redacted and oracle must be the same design"
-    );
+) -> Result<SensitizationOutcome, AttackError> {
+    if redacted.len() != oracle.len() {
+        return Err(AttackError::DesignMismatch {
+            redacted: redacted.len(),
+            oracle: oracle.len(),
+        });
+    }
     let missing: Vec<NodeId> = redacted
         .iter()
         .filter(|(_, n)| matches!(n, Node::Lut { config: None, .. }))

@@ -19,7 +19,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use sttlock_attack::estimate::BigEffort;
 use sttlock_bench::HarnessArgs;
+use sttlock_campaign::{execute, CampaignSpec, CircuitSpec, SelectionOverrides};
 use sttlock_core::harden::{harden, HardenConfig};
 use sttlock_core::{Flow, SelectionAlgorithm};
 use sttlock_techlib::Library;
@@ -41,6 +43,19 @@ fn main() {
         args.seed
     );
 
+    // Sweeps 1–2 are campaign grids over the selection-override axis:
+    // every sweep point is an isolated, parallel cell.
+    let sweep = |algorithm: SelectionAlgorithm, overrides: Vec<SelectionOverrides>| {
+        let spec = CampaignSpec {
+            circuits: vec![CircuitSpec::Profile(profile.name.to_owned())],
+            algorithms: vec![algorithm],
+            seeds: vec![args.seed],
+            overrides,
+            ..CampaignSpec::default()
+        };
+        execute(&spec).records
+    };
+
     // 1. LUT budget sweep (independent selection).
     println!();
     println!("1) Independent-selection LUT budget sweep");
@@ -48,18 +63,27 @@ fn main() {
         "{:>6} | {:>8} | {:>8} | {:>10}",
         "#LUTs", "power%", "area%", "N_indep"
     );
-    let mut flow = Flow::new(lib.clone());
-    for budget in [1usize, 2, 4, 8, 16, 32, 64] {
-        flow.selection.independent_gates = budget;
-        match flow.run(&netlist, SelectionAlgorithm::Independent, args.seed) {
-            Ok(out) => println!(
+    let budgets = [1usize, 2, 4, 8, 16, 32, 64];
+    let records = sweep(
+        SelectionAlgorithm::Independent,
+        budgets
+            .iter()
+            .map(|&b| SelectionOverrides {
+                independent_gates: Some(b),
+                ..SelectionOverrides::default()
+            })
+            .collect(),
+    );
+    for (budget, r) in budgets.iter().zip(&records) {
+        match r.flow {
+            Some(m) => println!(
                 "{:>6} | {:>8.2} | {:>8.2} | {:>10}",
-                out.report.stt_count,
-                out.report.power_overhead_pct,
-                out.report.area_overhead_pct,
-                out.report.security.n_indep
+                m.stt_count,
+                m.power_pct,
+                m.area_pct,
+                BigEffort::from_log10(m.n_indep_log10)
             ),
-            Err(e) => println!("{budget:>6} | ({e})"),
+            None => println!("{budget:>6} | ({})", r.status.tag()),
         }
     }
 
@@ -70,19 +94,28 @@ fn main() {
         "{:>6} | {:>6} | {:>8} | {:>8} | {:>12}",
         "paths", "#LUTs", "perf%", "power%", "N_bf"
     );
-    let mut flow = Flow::new(lib.clone());
-    for paths in [1usize, 2, 4, 8, 16] {
-        flow.selection.parametric_paths = Some(paths);
-        match flow.run(&netlist, SelectionAlgorithm::ParametricAware, args.seed) {
-            Ok(out) => println!(
+    let paths_sweep = [1usize, 2, 4, 8, 16];
+    let records = sweep(
+        SelectionAlgorithm::ParametricAware,
+        paths_sweep
+            .iter()
+            .map(|&p| SelectionOverrides {
+                parametric_paths: Some(p),
+                ..SelectionOverrides::default()
+            })
+            .collect(),
+    );
+    for (paths, r) in paths_sweep.iter().zip(&records) {
+        match r.flow {
+            Some(m) => println!(
                 "{:>6} | {:>6} | {:>8.2} | {:>8.2} | {:>12}",
                 paths,
-                out.report.stt_count,
-                out.report.performance_degradation_pct,
-                out.report.power_overhead_pct,
-                out.report.security.n_bf
+                m.stt_count,
+                m.perf_pct,
+                m.power_pct,
+                BigEffort::from_log10(m.n_bf_log10)
             ),
-            Err(e) => println!("{paths:>6} | ({e})"),
+            None => println!("{paths:>6} | ({})", r.status.tag()),
         }
     }
 
@@ -101,7 +134,8 @@ fn main() {
         .sum();
     let mut hardened = out.hybrid.clone();
     let mut rng = StdRng::seed_from_u64(args.seed);
-    let report = harden(&mut hardened, &HardenConfig::default(), &mut rng);
+    let report =
+        harden(&mut hardened, &HardenConfig::default(), &mut rng).expect("programmed view");
     let hard_bits: usize = hardened
         .node_ids()
         .filter(|&id| hardened.node(id).is_lut())

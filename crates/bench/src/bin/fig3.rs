@@ -6,58 +6,19 @@
 //! Also prints the headline conversion the paper makes: years of attack
 //! time at one billion pattern applications per second.
 //!
+//! Thin wrapper over the campaign engine (`sttlock-campaign`): the grid
+//! runs in parallel with per-cell fault isolation.
+//!
 //! Usage: `fig3 [--max-gates N] [--seed N]`.
 
 use sttlock_bench::HarnessArgs;
-use sttlock_core::{Flow, SelectionAlgorithm};
-use sttlock_techlib::Library;
+use sttlock_campaign::{execute, render};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let flow = Flow::new(Library::predictive_90nm());
-    const RATE: f64 = 1e9; // patterns per second, per the paper
-
-    println!(
-        "Figure 3 — required test clocks to resolve the missing gates (seed {})",
-        args.seed
-    );
-    println!(
-        "{:<9} | {:>12} | {:>12} | {:>12} | {:>14}",
-        "Circuit", "N_indep", "N_dep", "N_bf (para)", "para years@1e9/s"
-    );
-    println!("{}", "-".repeat(72));
-
-    for profile in args.profiles() {
-        let netlist = args.generate(&profile);
-        let mut cells: Vec<String> = Vec::new();
-        let mut para_years = String::from("-");
-        for alg in SelectionAlgorithm::ALL {
-            match flow.run(&netlist, alg, args.seed) {
-                Ok(out) => {
-                    let effort = match alg {
-                        SelectionAlgorithm::Independent => out.report.security.n_indep,
-                        SelectionAlgorithm::Dependent => out.report.security.n_dep,
-                        SelectionAlgorithm::ParametricAware => out.report.security.n_bf,
-                    };
-                    cells.push(effort.to_string());
-                    if alg == SelectionAlgorithm::ParametricAware {
-                        let years = effort.years_at(RATE);
-                        para_years = if years > 1e9 {
-                            format!("{:.2e}", years)
-                        } else {
-                            format!("{years:.1}")
-                        };
-                    }
-                }
-                Err(e) => cells.push(format!("({e})")),
-            }
-        }
-        println!(
-            "{:<9} | {:>12} | {:>12} | {:>12} | {:>14}",
-            profile.name, cells[0], cells[1], cells[2], para_years
-        );
+    let result = execute(&args.campaign_spec());
+    for r in result.records.iter().filter(|r| !r.status.is_ok()) {
+        eprintln!("{}/{}: {}", r.circuit, r.algorithm, r.status.tag());
     }
-    println!();
-    println!("Paper reference point: s38584 parametric-aware needs ~6.07E+219 test clocks");
-    println!("(> 1000 years at 1e9 patterns/s even for the small circuits).");
+    print!("{}", render::render_fig3(&result.records, args.seed));
 }

@@ -4,86 +4,20 @@
 //! parametric-aware selection algorithms, plus the number of inserted
 //! LUTs and the circuit size.
 //!
+//! Thin wrapper over the campaign engine (`sttlock-campaign`): the grid
+//! runs in parallel with per-cell fault isolation, and failures show up
+//! on stderr instead of aborting the table.
+//!
 //! Usage: `table1 [--max-gates N] [--seed N]`.
 
 use sttlock_bench::HarnessArgs;
-use sttlock_core::{Flow, SelectionAlgorithm};
-use sttlock_techlib::Library;
+use sttlock_campaign::{execute, render};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let flow = Flow::new(Library::predictive_90nm());
-
-    println!(
-        "Table I — overhead after introducing STT-based LUTs (seed {})",
-        args.seed
-    );
-    println!(
-        "{:<9} | {:>6} {:>6} {:>6} | {:>7} {:>7} {:>7} | {:>6} {:>6} {:>6} | {:>5} {:>5} {:>5} | {:>7}",
-        "Circuit",
-        "PerfI", "PerfD", "PerfP",
-        "PwrI", "PwrD", "PwrP",
-        "AreaI", "AreaD", "AreaP",
-        "#I", "#D", "#P",
-        "size"
-    );
-    println!("{}", "-".repeat(118));
-
-    let mut sums = [[0.0f64; 3]; 3]; // [metric][algorithm]
-    let mut counts = [0.0f64; 3];
-    let mut rows = 0usize;
-
-    for profile in args.profiles() {
-        let netlist = args.generate(&profile);
-        let mut perf = [0.0; 3];
-        let mut power = [0.0; 3];
-        let mut area = [0.0; 3];
-        let mut stts = [0usize; 3];
-        for (i, alg) in SelectionAlgorithm::ALL.iter().enumerate() {
-            match flow.run(&netlist, *alg, args.seed) {
-                Ok(out) => {
-                    perf[i] = out.report.performance_degradation_pct;
-                    power[i] = out.report.power_overhead_pct;
-                    area[i] = out.report.area_overhead_pct;
-                    stts[i] = out.report.stt_count;
-                }
-                Err(e) => {
-                    eprintln!("{}/{alg}: {e}", profile.name);
-                }
-            }
-        }
-        println!(
-            "{:<9} | {:>6.2} {:>6.2} {:>6.2} | {:>7.2} {:>7.2} {:>7.2} | {:>6.2} {:>6.2} {:>6.2} | {:>5} {:>5} {:>5} | {:>7}",
-            profile.name,
-            perf[0], perf[1], perf[2],
-            power[0], power[1], power[2],
-            area[0], area[1], area[2],
-            stts[0], stts[1], stts[2],
-            netlist.gate_count(),
-        );
-        for a in 0..3 {
-            sums[0][a] += perf[a];
-            sums[1][a] += power[a];
-            sums[2][a] += area[a];
-            counts[a] += stts[a] as f64;
-        }
-        rows += 1;
+    let result = execute(&args.campaign_spec());
+    for r in result.records.iter().filter(|r| !r.status.is_ok()) {
+        eprintln!("{}/{}: {}", r.circuit, r.algorithm, r.status.tag());
     }
-
-    if rows > 0 {
-        let n = rows as f64;
-        println!("{}", "-".repeat(118));
-        println!(
-            "{:<9} | {:>6.2} {:>6.2} {:>6.2} | {:>7.2} {:>7.2} {:>7.2} | {:>6.2} {:>6.2} {:>6.2} | {:>5.1} {:>5.1} {:>5.1} |",
-            "Average",
-            sums[0][0] / n, sums[0][1] / n, sums[0][2] / n,
-            sums[1][0] / n, sums[1][1] / n, sums[1][2] / n,
-            sums[2][0] / n, sums[2][1] / n, sums[2][2] / n,
-            counts[0] / n, counts[1] / n, counts[2] / n,
-        );
-        println!();
-        println!("Paper (Table I) averages for comparison:");
-        println!("  perf: 2.69 / 28.40 / 2.36 %   power: 6.12 / 24.96 / 7.23 %   area: 1.47 / 6.45 / 2.84 %   #STT: 5.0 / 60.7 / 48.7");
-        println!("Expected shape: dependent worst on performance/power; overheads shrink as circuits grow.");
-    }
+    print!("{}", render::render_table1(&result.records, args.seed));
 }

@@ -5,50 +5,21 @@
 //! format is used here. Expected shape: sub-second for the small
 //! benchmarks, seconds to about a minute for the s5378a..s38584 class.
 //!
+//! Thin wrapper over the campaign engine (`sttlock-campaign`). Note the
+//! campaign runs cells in parallel: the *selection* time per cell is
+//! still a single-core measurement (it is timed inside the flow), so
+//! the Table II numbers are unaffected by the worker count.
+//!
 //! Usage: `table2 [--max-gates N] [--seed N]`.
 
-use std::time::Duration;
-
 use sttlock_bench::HarnessArgs;
-use sttlock_core::{Flow, SelectionAlgorithm};
-use sttlock_techlib::Library;
-
-fn fmt_mmss(d: Duration) -> String {
-    let total = d.as_secs_f64();
-    let minutes = (total / 60.0).floor() as u64;
-    let seconds = total - (minutes as f64) * 60.0;
-    format!("{minutes:02}:{seconds:04.1}")
-}
+use sttlock_campaign::{execute, render};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let flow = Flow::new(Library::predictive_90nm());
-
-    println!(
-        "Table II — CPU time (MM:SS.s) for gate selection (seed {})",
-        args.seed
-    );
-    println!(
-        "{:<9} | {:>12} | {:>12} | {:>12}",
-        "Circuit", "Independent", "Dependent", "Parametric"
-    );
-    println!("{}", "-".repeat(54));
-
-    for profile in args.profiles() {
-        let netlist = args.generate(&profile);
-        let mut cells = Vec::with_capacity(3);
-        for alg in SelectionAlgorithm::ALL {
-            let text = match flow.run(&netlist, alg, args.seed) {
-                Ok(out) => fmt_mmss(out.report.selection_time),
-                Err(e) => format!("({e})"),
-            };
-            cells.push(text);
-        }
-        println!(
-            "{:<9} | {:>12} | {:>12} | {:>12}",
-            profile.name, cells[0], cells[1], cells[2]
-        );
+    let result = execute(&args.campaign_spec());
+    for r in result.records.iter().filter(|r| !r.status.is_ok()) {
+        eprintln!("{}/{}: {}", r.circuit, r.algorithm, r.status.tag());
     }
-    println!();
-    println!("Paper: all selections finish under ~1:31, s38584 parametric in 00:44.0.");
+    print!("{}", render::render_table2(&result.records, args.seed));
 }

@@ -23,6 +23,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use sttlock_benchgen::{profiles, Profile};
+use sttlock_campaign::{circuit_seed, AttackKind, CampaignSpec, CircuitSpec};
 use sttlock_netlist::Netlist;
 
 /// Shared command-line options of the reproduction binaries.
@@ -78,9 +79,31 @@ impl HarnessArgs {
     }
 
     /// Generates the circuit for a profile with this run's seed.
+    ///
+    /// The per-profile stream split lives in
+    /// [`sttlock_campaign::circuit_seed`] so the campaign engine and
+    /// these binaries generate byte-identical circuits.
     pub fn generate(&self, profile: &Profile) -> Netlist {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ fxhash(profile.name));
+        let mut rng = StdRng::seed_from_u64(circuit_seed(self.seed, profile.name));
         profile.generate(&mut rng)
+    }
+
+    /// The campaign grid equivalent to this harness invocation: the
+    /// selected profiles × all three algorithms × this seed, flow only.
+    ///
+    /// The table binaries are thin wrappers over this spec — they
+    /// inherit the campaign's parallelism and fault isolation for free.
+    pub fn campaign_spec(&self) -> CampaignSpec {
+        CampaignSpec {
+            circuits: self
+                .profiles()
+                .iter()
+                .map(|p| CircuitSpec::Profile(p.name.to_owned()))
+                .collect(),
+            seeds: vec![self.seed],
+            attacks: vec![AttackKind::None],
+            ..CampaignSpec::default()
+        }
     }
 }
 
@@ -90,17 +113,6 @@ fn usage(problem: &str) -> ! {
     }
     eprintln!("usage: <bin> [--max-gates N] [--seed N]");
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
-}
-
-/// Tiny deterministic string hash so each benchmark gets its own stream
-/// from one user-facing seed.
-fn fxhash(s: &str) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    for b in s.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
 }
 
 #[cfg(test)]
@@ -124,7 +136,20 @@ mod tests {
 
     #[test]
     fn per_profile_seeds_differ() {
-        assert_ne!(fxhash("s641"), fxhash("s820"));
+        assert_ne!(circuit_seed(42, "s641"), circuit_seed(42, "s820"));
+    }
+
+    #[test]
+    fn campaign_spec_mirrors_the_harness() {
+        let a = HarnessArgs {
+            max_gates: 700,
+            seed: 5,
+        };
+        let spec = a.campaign_spec();
+        assert_eq!(spec.circuits.len(), a.profiles().len());
+        assert_eq!(spec.seeds, vec![5]);
+        assert_eq!(spec.attacks, vec![AttackKind::None]);
+        assert_eq!(spec.algorithms.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Content-hash result cache.
+//!
+//! A cell's cache key hashes everything that determines its outcome:
+//!
+//! * a format-version salt ([`CACHE_VERSION`]) so stale layouts are
+//!   invisible rather than misparsed,
+//! * the cell descriptor (circuit label, algorithm, seed, attack kind
+//!   *with its limits*),
+//! * the generated netlist's `.bench` text — the actual input of the
+//!   flow. If the generator, the profile table or the seed scheme
+//!   changes, the text changes and every affected cell re-runs; cells
+//!   whose circuits are byte-identical keep hitting.
+//!
+//! Keys are 128 bits (two independent FNV-1a streams) rendered as hex
+//! file names. Only [`RunStatus::Ok`](crate::RunStatus::Ok) records are
+//! stored: failures, panics and timeouts always re-execute, because
+//! they are exactly the cells one is trying to fix.
+
+use std::fs;
+use std::path::PathBuf;
+
+use crate::json::Json;
+use crate::record::RunRecord;
+
+/// Bump when the record layout or keying scheme changes.
+pub const CACHE_VERSION: u32 = 1;
+
+/// A directory of cached [`RunRecord`]s keyed by content hash.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    dir: PathBuf,
+}
+
+/// A computed cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheKey(u64, u64);
+
+impl CacheKey {
+    /// Hex file-name form of the key.
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.0, self.1)
+    }
+}
+
+/// Hashes one content chunk into both FNV-1a streams. The two streams
+/// use different offset bases, so a collision must defeat both.
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Computes the key for one cell from its descriptor and the generated
+/// netlist text.
+pub fn cell_key(descriptor: &str, bench_text: &str) -> CacheKey {
+    let version = format!("v{CACHE_VERSION}\u{1f}");
+    let mut a = 0xcbf29ce484222325u64;
+    let mut b = 0x6c62272e07bb0142u64; // distinct offset basis
+    for chunk in [
+        version.as_bytes(),
+        descriptor.as_bytes(),
+        b"\x1f",
+        bench_text.as_bytes(),
+    ] {
+        a = fnv1a(a, chunk);
+        b = fnv1a(b, chunk).rotate_left(17);
+    }
+    CacheKey(a, b)
+}
+
+impl Cache {
+    /// Opens (creating if needed) a cache directory. Returns `None` if
+    /// the directory cannot be created — the campaign then runs
+    /// uncached rather than failing.
+    pub fn open(dir: PathBuf) -> Option<Cache> {
+        fs::create_dir_all(&dir).ok()?;
+        Some(Cache { dir })
+    }
+
+    fn path(&self, key: CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.json", key.hex()))
+    }
+
+    /// Looks up a cached record. Corrupt or unreadable entries read as
+    /// misses.
+    pub fn lookup(&self, key: CacheKey) -> Option<RunRecord> {
+        let text = fs::read_to_string(self.path(key)).ok()?;
+        RunRecord::from_json(&Json::parse(&text).ok()?)
+    }
+
+    /// Stores a successful record. Write failures are swallowed: the
+    /// cache is an accelerator, never a correctness dependency.
+    pub fn store(&self, key: CacheKey, record: &RunRecord) {
+        if !record.status.is_ok() {
+            return;
+        }
+        let _ = fs::write(self.path(key), record.to_json().to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RunStatus;
+
+    fn tmp_cache(name: &str) -> Cache {
+        let dir = std::env::temp_dir()
+            .join("sttlock-campaign-cache-tests")
+            .join(format!("{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Cache::open(dir).unwrap()
+    }
+
+    fn ok_record() -> RunRecord {
+        RunRecord {
+            status: RunStatus::Ok,
+            flow: Some(crate::record::FlowMetrics::default()),
+            wall_ms: 5,
+            ..RunRecord::failure("s27", "independent", 42, "none", RunStatus::Ok)
+        }
+    }
+
+    #[test]
+    fn keys_separate_descriptor_and_content() {
+        let k = cell_key("s27|independent|42|none", "INPUT(a)\n");
+        assert_eq!(k, cell_key("s27|independent|42|none", "INPUT(a)\n"));
+        assert_ne!(k, cell_key("s27|independent|43|none", "INPUT(a)\n"));
+        assert_ne!(k, cell_key("s27|independent|42|none", "INPUT(b)\n"));
+        // The separator prevents boundary ambiguity.
+        assert_ne!(
+            cell_key("ab", "c"),
+            cell_key("a", "bc"),
+            "descriptor/content boundary must be keyed"
+        );
+        assert_eq!(k.hex().len(), 32);
+    }
+
+    #[test]
+    fn store_then_lookup_round_trips() {
+        let cache = tmp_cache("roundtrip");
+        let key = cell_key("d", "t");
+        assert_eq!(cache.lookup(key), None);
+        let r = ok_record();
+        cache.store(key, &r);
+        assert_eq!(cache.lookup(key), Some(r));
+    }
+
+    #[test]
+    fn failures_are_never_cached() {
+        let cache = tmp_cache("failures");
+        let key = cell_key("d", "t");
+        for status in [
+            RunStatus::Failed("x".into()),
+            RunStatus::Panicked("y".into()),
+            RunStatus::TimedOut,
+        ] {
+            cache.store(key, &RunRecord::failure("c", "a", 1, "none", status));
+            assert_eq!(cache.lookup(key), None);
+        }
+    }
+
+    #[test]
+    fn corrupt_entries_read_as_misses() {
+        let cache = tmp_cache("corrupt");
+        let key = cell_key("d", "t");
+        fs::write(cache.path(key), "not json{").unwrap();
+        assert_eq!(cache.lookup(key), None);
+    }
+}

@@ -1,0 +1,486 @@
+//! Grid execution: work-stealing parallelism with per-cell fault
+//! isolation.
+//!
+//! The worker pool mirrors `IncrementalSta::batch_eval`: scoped OS
+//! threads pulling cell indices from a shared atomic counter (rayon is
+//! not available offline). Each cell additionally runs on its own
+//! *detached* thread so the worker can abandon it on timeout:
+//!
+//! * a panic inside the cell is contained by `catch_unwind` and becomes
+//!   a [`RunStatus::Panicked`] record (the stock panic hook still
+//!   prints the backtrace to stderr — the campaign does not install a
+//!   global hook, which would race with concurrent tests);
+//! * a cell that exceeds the budget becomes [`RunStatus::TimedOut`];
+//!   its thread keeps running detached until the process exits — the
+//!   cost of having no preemption, acceptable for a batch driver whose
+//!   process ends with the campaign.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sttlock_attack::sat_attack::{self, SatAttackConfig, SequentialAttackConfig};
+use sttlock_attack::sensitization::{self, SensitizationConfig};
+use sttlock_benchgen::{profiles, Profile};
+use sttlock_core::Flow;
+use sttlock_netlist::{bench_format, Netlist};
+use sttlock_techlib::Library;
+
+use crate::cache::{cell_key, Cache};
+use crate::record::{AttackMetrics, FlowMetrics, RunRecord, RunStatus};
+use crate::{circuit_seed, AttackKind, CampaignSpec, Cell, CircuitSpec};
+
+/// Everything a finished campaign reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// One record per grid cell, in grid order.
+    pub records: Vec<RunRecord>,
+    /// Wall-clock time of the whole campaign.
+    pub wall: Duration,
+}
+
+impl CampaignResult {
+    /// Number of records served from the cache.
+    pub fn cache_hits(&self) -> usize {
+        self.records.iter().filter(|r| r.cached).count()
+    }
+
+    /// Number of records that completed with metrics.
+    pub fn ok_count(&self) -> usize {
+        self.records.iter().filter(|r| r.status.is_ok()).count()
+    }
+
+    /// The records serialized as JSONL (one record per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_json().to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Executes the campaign grid.
+///
+/// Failures never propagate out: every cell ends as a [`RunRecord`],
+/// and record order matches [`CampaignSpec::cells`] regardless of which
+/// worker finished first.
+pub fn execute(spec: &CampaignSpec) -> CampaignResult {
+    let start = Instant::now();
+    let cells = spec.cells();
+    let cache = spec
+        .cache_dir
+        .as_ref()
+        .and_then(|dir| Cache::open(dir.clone()));
+
+    let workers = if spec.jobs > 0 {
+        spec.jobs
+    } else {
+        thread::available_parallelism().map_or(1, |n| n.get())
+    }
+    .min(cells.len().max(1));
+
+    let slots: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; cells.len()]);
+    let next = AtomicUsize::new(0);
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let record = run_cell_isolated(cell, spec.timeout, cache.as_ref());
+                slots.lock().expect("result mutex poisoned")[i] = Some(record);
+            });
+        }
+    });
+
+    let records = slots
+        .into_inner()
+        .expect("result mutex poisoned")
+        .into_iter()
+        .map(|r| r.expect("every cell produces a record"))
+        .collect();
+    CampaignResult {
+        records,
+        wall: start.elapsed(),
+    }
+}
+
+/// Runs one cell on a detached thread with a wall-clock budget.
+fn run_cell_isolated(cell: &Cell, timeout: Duration, cache: Option<&Cache>) -> RunRecord {
+    let start = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    let owned_cell = cell.clone();
+    let owned_cache = cache.cloned();
+    thread::spawn(move || {
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            run_cell(&owned_cell, owned_cache.as_ref())
+        }));
+        // The receiver may have given up (timeout); that is fine.
+        let _ = tx.send(result);
+    });
+    match rx.recv_timeout(timeout) {
+        Ok(Ok(record)) => record,
+        Ok(Err(payload)) => {
+            let mut r = RunRecord::failure(
+                cell.circuit.name(),
+                &cell.algorithm.to_string(),
+                cell.seed,
+                cell.attack.tag(),
+                RunStatus::Panicked(panic_message(payload)),
+            );
+            r.config = cell.overrides.descriptor();
+            r.wall_ms = start.elapsed().as_millis() as u64;
+            r
+        }
+        Err(_) => {
+            let mut r = RunRecord::failure(
+                cell.circuit.name(),
+                &cell.algorithm.to_string(),
+                cell.seed,
+                cell.attack.tag(),
+                RunStatus::TimedOut,
+            );
+            r.config = cell.overrides.descriptor();
+            r.wall_ms = timeout.as_millis() as u64;
+            r
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Generates the circuit for a cell (the fault-injection cells fault
+/// here, inside the isolation boundary).
+fn generate(circuit: &CircuitSpec, seed: u64) -> Result<Netlist, String> {
+    let profile = match circuit {
+        CircuitSpec::Profile(name) => {
+            profiles::by_name(name).ok_or_else(|| format!("unknown benchmark profile `{name}`"))?
+        }
+        CircuitSpec::Custom {
+            gates,
+            dffs,
+            inputs,
+            outputs,
+            ..
+        } => Profile::custom("custom", *gates, *dffs, *inputs, *outputs),
+        CircuitSpec::InjectPanic => panic!("injected panic cell"),
+        CircuitSpec::InjectTimeout => loop {
+            // Never finishes; the runner abandons this thread on timeout.
+            thread::sleep(Duration::from_secs(3600));
+        },
+    };
+    let mut rng = StdRng::seed_from_u64(circuit_seed(seed, circuit.name()));
+    Ok(profile.generate(&mut rng))
+}
+
+/// Runs one cell to completion: generate → cache probe → flow → attack.
+fn run_cell(cell: &Cell, cache: Option<&Cache>) -> RunRecord {
+    let start = Instant::now();
+    let algorithm = cell.algorithm.to_string();
+    let fail = |status| {
+        let mut r = RunRecord::failure(
+            cell.circuit.name(),
+            &algorithm,
+            cell.seed,
+            cell.attack.tag(),
+            status,
+        );
+        r.config = cell.overrides.descriptor();
+        r.wall_ms = start.elapsed().as_millis() as u64;
+        r
+    };
+
+    let netlist = match generate(&cell.circuit, cell.seed) {
+        Ok(n) => n,
+        Err(message) => return fail(RunStatus::Failed(message)),
+    };
+
+    // The key covers the cell descriptor and the generated circuit text,
+    // so a generator change invalidates exactly the affected cells.
+    let descriptor = format!(
+        "{}|{}|{}|{}|{}",
+        cell.circuit.name(),
+        algorithm,
+        cell.seed,
+        cell.attack.descriptor(),
+        cell.overrides.descriptor()
+    );
+    let key = cell_key(&descriptor, &bench_format::write(&netlist));
+    if let Some(cache) = cache {
+        if let Some(mut hit) = cache.lookup(key) {
+            hit.cached = true;
+            return hit;
+        }
+    }
+
+    let mut flow = Flow::new(Library::predictive_90nm());
+    if let Some(gates) = cell.overrides.independent_gates {
+        flow.selection.independent_gates = gates;
+    }
+    if let Some(paths) = cell.overrides.parametric_paths {
+        flow.selection.parametric_paths = Some(paths);
+    }
+    let outcome = match flow.run(&netlist, cell.algorithm, cell.seed) {
+        Ok(o) => o,
+        Err(e) => return fail(RunStatus::Failed(format!("flow failed: {e}"))),
+    };
+    let report = &outcome.report;
+    let flow_metrics = FlowMetrics {
+        perf_pct: report.performance_degradation_pct,
+        power_pct: report.power_overhead_pct,
+        leakage_pct: report.leakage_overhead_pct,
+        area_pct: report.area_overhead_pct,
+        stt_count: report.stt_count,
+        selection_ms: report.selection_time.as_secs_f64() * 1e3,
+        n_indep_log10: report.security.n_indep.log10(),
+        n_dep_log10: report.security.n_dep.log10(),
+        n_bf_log10: report.security.n_bf.log10(),
+    };
+
+    let attack_metrics = match run_attack(cell, &outcome.hybrid) {
+        Ok(m) => m,
+        Err(message) => {
+            let mut r = fail(RunStatus::Failed(message));
+            // The flow part succeeded; keep its metrics on the failure
+            // row so a broken attack does not erase the overhead data.
+            r.flow = Some(flow_metrics);
+            r.gates = netlist.gate_count();
+            return r;
+        }
+    };
+
+    let record = RunRecord {
+        circuit: cell.circuit.name().to_owned(),
+        gates: netlist.gate_count(),
+        algorithm,
+        seed: cell.seed,
+        attack: cell.attack.tag().to_owned(),
+        config: cell.overrides.descriptor(),
+        status: RunStatus::Ok,
+        flow: Some(flow_metrics),
+        attack_metrics,
+        wall_ms: start.elapsed().as_millis() as u64,
+        cached: false,
+    };
+    if let Some(cache) = cache {
+        cache.store(key, &record);
+    }
+    record
+}
+
+/// Runs the cell's attack against the (foundry view, programmed part)
+/// pair produced by the flow.
+fn run_attack(cell: &Cell, hybrid: &Netlist) -> Result<Option<AttackMetrics>, String> {
+    let err = |e: sttlock_attack::AttackError| format!("attack failed: {e}");
+    match cell.attack {
+        AttackKind::None => Ok(None),
+        AttackKind::Sensitization => {
+            let foundry = hybrid.redact().0;
+            let mut rng = StdRng::seed_from_u64(cell.seed ^ 0xA77A_C4ED);
+            let out =
+                sensitization::run(&foundry, hybrid, &SensitizationConfig::default(), &mut rng)
+                    .map_err(err)?;
+            Ok(Some(AttackMetrics {
+                broke: out.is_full_break(),
+                test_clocks: out.test_clocks,
+                sat_queries: out.sat_queries,
+                ..AttackMetrics::default()
+            }))
+        }
+        AttackKind::Sat { max_dips } => {
+            let foundry = hybrid.redact().0;
+            let out =
+                sat_attack::run(&foundry, hybrid, &SatAttackConfig { max_dips }).map_err(err)?;
+            let s = out.solver_stats;
+            Ok(Some(AttackMetrics {
+                broke: out.succeeded(),
+                dips: out.dips as u64,
+                conflicts: s.conflicts,
+                decisions: s.decisions,
+                propagations: s.propagations,
+                restarts: s.restarts,
+                learnt_clauses: s.learnt_clauses,
+                ..AttackMetrics::default()
+            }))
+        }
+        AttackKind::SequentialSat { frames, max_dips } => {
+            let foundry = hybrid.redact().0;
+            let cfg = SequentialAttackConfig { frames, max_dips };
+            let out = sat_attack::run_sequential(&foundry, hybrid, &cfg).map_err(err)?;
+            let s = out.solver_stats;
+            Ok(Some(AttackMetrics {
+                broke: out.bitstream.is_some(),
+                dips: out.dips as u64,
+                frames: out.frames as u64,
+                conflicts: s.conflicts,
+                decisions: s.decisions,
+                propagations: s.propagations,
+                restarts: s.restarts,
+                learnt_clauses: s.learnt_clauses,
+                ..AttackMetrics::default()
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(name: &str) -> CircuitSpec {
+        CircuitSpec::Custom {
+            name: name.to_owned(),
+            gates: 60,
+            dffs: 4,
+            inputs: 6,
+            outputs: 4,
+        }
+    }
+
+    fn quick_spec(circuits: Vec<CircuitSpec>) -> CampaignSpec {
+        CampaignSpec {
+            circuits,
+            algorithms: vec![sttlock_core::SelectionAlgorithm::Independent],
+            seeds: vec![3],
+            ..CampaignSpec::default()
+        }
+    }
+
+    #[test]
+    fn a_small_grid_completes_with_metrics_in_order() {
+        let spec = CampaignSpec {
+            circuits: vec![small("tiny-a"), small("tiny-b")],
+            algorithms: sttlock_core::SelectionAlgorithm::ALL.to_vec(),
+            seeds: vec![3],
+            jobs: 2,
+            ..CampaignSpec::default()
+        };
+        let result = execute(&spec);
+        assert_eq!(result.records.len(), 6);
+        assert_eq!(result.ok_count(), 6);
+        // Order matches the grid, not completion order.
+        assert!(result.records[..3].iter().all(|r| r.circuit == "tiny-a"));
+        for r in &result.records {
+            let flow = r.flow.expect("ok cells carry flow metrics");
+            assert!(flow.stt_count > 0);
+            assert!(flow.n_bf_log10 > 0.0);
+            assert_eq!(r.gates, 60);
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_a_recorded_failure_not_an_abort() {
+        let spec = quick_spec(vec![CircuitSpec::InjectPanic, small("survivor")]);
+        let result = execute(&spec);
+        assert_eq!(result.records.len(), 2);
+        assert_eq!(
+            result.records[0].status,
+            RunStatus::Panicked("injected panic cell".into())
+        );
+        assert!(result.records[1].status.is_ok(), "siblings keep going");
+    }
+
+    #[test]
+    fn injected_timeout_is_recorded_and_bounded() {
+        let spec = CampaignSpec {
+            timeout: Duration::from_millis(100),
+            ..quick_spec(vec![CircuitSpec::InjectTimeout, small("survivor")])
+        };
+        let t0 = Instant::now();
+        let result = execute(&spec);
+        assert_eq!(result.records[0].status, RunStatus::TimedOut);
+        assert!(result.records[1].status.is_ok());
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "the campaign must not wait for the runaway cell"
+        );
+    }
+
+    #[test]
+    fn unknown_profiles_fail_without_poisoning_the_grid() {
+        let spec = quick_spec(vec![CircuitSpec::Profile("s999999".into()), small("ok")]);
+        let result = execute(&spec);
+        assert!(matches!(&result.records[0].status, RunStatus::Failed(m) if m.contains("s999999")));
+        assert!(result.records[1].status.is_ok());
+    }
+
+    #[test]
+    fn rerunning_an_unchanged_grid_hits_the_cache() {
+        let dir = std::env::temp_dir()
+            .join("sttlock-campaign-runner-tests")
+            .join(format!("{}-rerun", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = CampaignSpec {
+            cache_dir: Some(dir.clone()),
+            ..quick_spec(vec![small("cached-a"), small("cached-b")])
+        };
+        let first = execute(&spec);
+        assert_eq!(first.cache_hits(), 0);
+        assert_eq!(first.ok_count(), 2);
+
+        let second = execute(&spec);
+        assert_eq!(second.cache_hits(), 2, "unchanged cells must hit");
+        // Cached records carry the same metrics as the original run.
+        assert_eq!(second.records[0].flow, first.records[0].flow);
+
+        // Changing the seed changes the generated circuit => full miss.
+        let changed = CampaignSpec {
+            seeds: vec![4],
+            ..spec
+        };
+        assert_eq!(execute(&changed).cache_hits(), 0);
+    }
+
+    #[test]
+    fn attacks_break_the_small_circuit_and_log_solver_stats() {
+        let spec = CampaignSpec {
+            attacks: vec![
+                AttackKind::Sat { max_dips: 10_000 },
+                AttackKind::SequentialSat {
+                    frames: 3,
+                    max_dips: 10_000,
+                },
+                AttackKind::Sensitization,
+            ],
+            ..quick_spec(vec![small("attacked")])
+        };
+        let result = execute(&spec);
+        assert_eq!(result.ok_count(), 3);
+        let sat = result.records[0].attack_metrics.unwrap();
+        assert!(sat.broke, "full-scan SAT attack breaks 5 independent LUTs");
+        assert!(sat.decisions > 0);
+        let seq = result.records[1].attack_metrics.unwrap();
+        assert_eq!(seq.frames, 3);
+        let sens = result.records[2].attack_metrics.unwrap();
+        assert!(sens.test_clocks > 0);
+    }
+
+    #[test]
+    fn jsonl_output_has_one_valid_line_per_cell() {
+        let spec = quick_spec(vec![CircuitSpec::InjectPanic, small("lines")]);
+        let result = execute(&spec);
+        let jsonl = result.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = crate::json::Json::parse(line).unwrap();
+            assert!(RunRecord::from_json(&v).is_some(), "{line}");
+        }
+    }
+}

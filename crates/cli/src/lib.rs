@@ -10,6 +10,8 @@
 //! sttlock-cli convert  -i hybrid.bench -o hybrid.v
 //! sttlock-cli equiv    -a design.bench -b part.bench
 //! sttlock-cli attack   -i foundry.bench --oracle part.bench --mode sens|sat|seq
+//! sttlock-cli campaign --circuits s27,s298 --seeds 1,2 --cache .campaign \
+//!                      --out runs.jsonl --table all
 //! ```
 //!
 //! Netlist files are selected by extension: `.bench` (ISCAS '89) or
@@ -32,6 +34,7 @@ use rand::SeedableRng;
 use sttlock_attack::sat_attack::{self, SatAttackConfig, SequentialAttackConfig};
 use sttlock_attack::sensitization::{self, SensitizationConfig};
 use sttlock_benchgen::{profiles, Profile};
+use sttlock_campaign::{render, AttackKind, CampaignSpec, CircuitSpec, SelectionOverrides};
 use sttlock_core::harden::{harden, HardenConfig};
 use sttlock_core::{Flow, SelectionAlgorithm};
 use sttlock_netlist::{bench_format, verilog, Netlist, NetlistError};
@@ -208,6 +211,14 @@ commands:
   equiv    -a <file> -b <file>             SAT equivalence check
   attack   -i <redacted> --oracle <file> --mode sens|sat|seq [--frames N]
                                            run an attack
+  campaign [--circuits all|<n1,n2,..>] [--max-gates N]
+           [--algorithms indep,dep,para] [--seeds N,N,..]
+           [--attacks none,sens,sat,seq] [--frames N] [--max-dips N]
+           [--indep-gates N,N,..] [--paths N,N,..]
+           [--jobs N] [--timeout-secs N] [--cache <dir>] [--out <file.jsonl>]
+           [--table table1|table2|fig3|attacks|all|none]
+           [--inject-panic] [--inject-timeout]
+                                           run a parallel experiment grid
   help                                     this text
 
 netlist files: .bench (ISCAS'89) or .v (structural subset)
@@ -252,6 +263,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "convert" => cmd_convert(rest),
         "equiv" => cmd_equiv(rest),
         "attack" => cmd_attack(rest),
+        "campaign" => cmd_campaign(rest),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}` (try `sttlock-cli help`)"
         ))),
@@ -335,7 +347,8 @@ fn cmd_lock(argv: &[String]) -> Result<String, CliError> {
     let mut harden_note = String::new();
     if args.has("harden") {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x4A4D);
-        let hr = harden(&mut outcome.hybrid, &HardenConfig::default(), &mut rng);
+        let hr = harden(&mut outcome.hybrid, &HardenConfig::default(), &mut rng)
+            .map_err(|e| CliError::Step(format!("hardening failed: {e}")))?;
         harden_note = format!(
             ", hardened (+{} decoys, {} absorbed)",
             hr.decoys_added, hr.gates_absorbed
@@ -545,6 +558,210 @@ fn cmd_attack(argv: &[String]) -> Result<String, CliError> {
             "unknown attack mode `{other}` (sens|sat|seq)"
         ))),
     }
+}
+
+fn parse_list<T>(
+    text: &str,
+    what: &str,
+    parse: impl Fn(&str) -> Result<T, CliError>,
+) -> Result<Vec<T>, CliError> {
+    let items: Result<Vec<T>, CliError> = text
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| parse(s.trim()))
+        .collect();
+    let items = items?;
+    if items.is_empty() {
+        return Err(CliError::Usage(format!(
+            "`--{what}` needs at least one item"
+        )));
+    }
+    Ok(items)
+}
+
+/// Parses one `--circuits` item: a profile name (`s27`), or a custom
+/// spec `name:gates:dffs:inputs:outputs` for ad-hoc smoke grids.
+fn parse_circuit(item: &str) -> Result<CircuitSpec, CliError> {
+    if !item.contains(':') {
+        return if profiles::by_name(item).is_some() {
+            Ok(CircuitSpec::Profile(item.to_owned()))
+        } else {
+            Err(CliError::Usage(format!(
+                "unknown profile `{item}`; known: {} (or name:gates:dffs:inputs:outputs)",
+                profiles::ALL.map(|p| p.name).join(", ")
+            )))
+        };
+    }
+    let parts: Vec<&str> = item.split(':').collect();
+    let bad = || {
+        CliError::Usage(format!(
+            "bad custom circuit `{item}` (want name:gates:dffs:inputs:outputs)"
+        ))
+    };
+    if parts.len() != 5 || parts[0].is_empty() {
+        return Err(bad());
+    }
+    let num = |s: &str| s.parse::<usize>().map_err(|_| bad());
+    Ok(CircuitSpec::Custom {
+        name: parts[0].to_owned(),
+        gates: num(parts[1])?,
+        dffs: num(parts[2])?,
+        inputs: num(parts[3])?,
+        outputs: num(parts[4])?,
+    })
+}
+
+fn cmd_campaign(argv: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(argv, &["inject-panic", "inject-timeout"])?;
+    let max_gates = args.get_u64("max-gates", u64::MAX)? as usize;
+
+    let mut circuits = match args.get("circuits") {
+        None | Some("all") => profiles::up_to(max_gates)
+            .iter()
+            .map(|p| CircuitSpec::Profile(p.name.to_owned()))
+            .collect(),
+        Some(list) => parse_list(list, "circuits", parse_circuit)?,
+    };
+    if args.has("inject-panic") {
+        circuits.push(CircuitSpec::InjectPanic);
+    }
+    if args.has("inject-timeout") {
+        circuits.push(CircuitSpec::InjectTimeout);
+    }
+
+    let algorithms = match args.get("algorithms") {
+        None => SelectionAlgorithm::ALL.to_vec(),
+        Some(list) => parse_list(list, "algorithms", parse_algorithm)?,
+    };
+    let seeds = match args.get("seeds") {
+        None => vec![42],
+        Some(list) => parse_list(list, "seeds", |s| {
+            s.parse::<u64>()
+                .map_err(|_| CliError::Usage(format!("`--seeds` expects integers, got `{s}`")))
+        })?,
+    };
+    let frames = args.get_u64("frames", 8)? as usize;
+    let max_dips = args.get_u64("max-dips", 10_000)? as usize;
+    let attacks = match args.get("attacks") {
+        None => vec![AttackKind::None],
+        Some(list) => parse_list(list, "attacks", |s| match s {
+            "none" => Ok(AttackKind::None),
+            "sens" => Ok(AttackKind::Sensitization),
+            "sat" => Ok(AttackKind::Sat { max_dips }),
+            "seq" => Ok(AttackKind::SequentialSat { frames, max_dips }),
+            other => Err(CliError::Usage(format!(
+                "unknown attack `{other}` (none|sens|sat|seq)"
+            ))),
+        })?,
+    };
+
+    // The selection-override axis: `--indep-gates` / `--paths` lists
+    // are crossed into the grid (ablation sweeps from the CLI).
+    let parse_usizes = |key: &'static str| -> Result<Option<Vec<usize>>, CliError> {
+        args.get(key)
+            .map(|list| {
+                parse_list(list, key, |s| {
+                    s.parse::<usize>().map_err(|_| {
+                        CliError::Usage(format!("`--{key}` expects integers, got `{s}`"))
+                    })
+                })
+            })
+            .transpose()
+    };
+    let indep_gates = parse_usizes("indep-gates")?;
+    let paths = parse_usizes("paths")?;
+    let mut overrides = Vec::new();
+    for &g in indep_gates.as_deref().unwrap_or(&[]) {
+        match paths.as_deref() {
+            None | Some([]) => overrides.push(SelectionOverrides {
+                independent_gates: Some(g),
+                ..SelectionOverrides::default()
+            }),
+            Some(ps) => {
+                for &p in ps {
+                    overrides.push(SelectionOverrides {
+                        independent_gates: Some(g),
+                        parametric_paths: Some(p),
+                    });
+                }
+            }
+        }
+    }
+    if indep_gates.is_none() {
+        for &p in paths.as_deref().unwrap_or(&[]) {
+            overrides.push(SelectionOverrides {
+                parametric_paths: Some(p),
+                ..SelectionOverrides::default()
+            });
+        }
+    }
+    if overrides.is_empty() {
+        overrides.push(SelectionOverrides::default());
+    }
+
+    let table = args.get("table").unwrap_or("all");
+    if !["none", "table1", "table2", "fig3", "attacks", "all"].contains(&table) {
+        return Err(CliError::Usage(format!(
+            "unknown table `{table}` (table1|table2|fig3|attacks|all|none)"
+        )));
+    }
+
+    let spec = CampaignSpec {
+        circuits,
+        algorithms,
+        seeds,
+        attacks,
+        overrides,
+        timeout: std::time::Duration::from_secs(args.get_u64("timeout-secs", 600)?),
+        jobs: args.get_u64("jobs", 0)? as usize,
+        cache_dir: args.get("cache").map(std::path::PathBuf::from),
+    };
+
+    let result = sttlock_campaign::execute(&spec);
+    if let Some(path) = args.get("out") {
+        fs::write(path, result.to_jsonl()).map_err(|e| CliError::Io {
+            path: path.to_owned(),
+            message: e.to_string(),
+        })?;
+    }
+
+    let seed = spec.seeds[0];
+    let has_attacks = spec.attacks.iter().any(|a| *a != AttackKind::None)
+        || spec.circuits.iter().any(CircuitSpec::is_injected);
+    let mut out = String::new();
+    match table {
+        "none" => {}
+        "table1" => out.push_str(&render::render_table1(&result.records, seed)),
+        "table2" => out.push_str(&render::render_table2(&result.records, seed)),
+        "fig3" => out.push_str(&render::render_fig3(&result.records, seed)),
+        "attacks" => out.push_str(&render::render_attacks(&result.records)),
+        _ => {
+            out.push_str(&render::render_table1(&result.records, seed));
+            out.push('\n');
+            out.push_str(&render::render_table2(&result.records, seed));
+            out.push('\n');
+            out.push_str(&render::render_fig3(&result.records, seed));
+            if has_attacks {
+                out.push('\n');
+                out.push_str(&render::render_attacks(&result.records));
+            }
+        }
+    }
+
+    let total = result.records.len();
+    let ok = result.ok_count();
+    let timed_out = result
+        .records
+        .iter()
+        .filter(|r| matches!(r.status, sttlock_campaign::RunStatus::TimedOut))
+        .count();
+    let failed = total - ok - timed_out;
+    out.push_str(&format!(
+        "\ncampaign: {total} runs ({ok} ok, {failed} failed, {timed_out} timed out, {} cached) in {:.1}s\n",
+        result.cache_hits(),
+        result.wall.as_secs_f64(),
+    ));
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -817,6 +1034,113 @@ mod tests {
         assert!(out.contains("LUTs"), "{out}");
         let out = run(&argv(&["report", "-i", &hybrid, "--library", &libfile])).unwrap();
         assert!(out.contains("security"), "{out}");
+    }
+
+    #[test]
+    fn campaign_runs_a_custom_grid_and_writes_jsonl() {
+        let jsonl = tmp("campaign.jsonl");
+        let out = run(&argv(&[
+            "campaign",
+            "--circuits",
+            "smoke-a:70:4:6:4,smoke-b:70:4:6:4",
+            "--algorithms",
+            "indep",
+            "--seeds",
+            "3",
+            "--out",
+            &jsonl,
+        ]))
+        .unwrap();
+        assert!(out.contains("Table I"), "{out}");
+        assert!(out.contains("Figure 3"), "{out}");
+        assert!(out.contains("2 runs (2 ok, 0 failed, 0 timed out"), "{out}");
+        let text = fs::read_to_string(&jsonl).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"status\":\"ok\""), "{text}");
+    }
+
+    #[test]
+    fn campaign_sweeps_the_override_axis() {
+        let jsonl = tmp("campaign-overrides.jsonl");
+        let out = run(&argv(&[
+            "campaign",
+            "--circuits",
+            "smoke:70:4:6:4",
+            "--algorithms",
+            "indep",
+            "--indep-gates",
+            "2,4",
+            "--table",
+            "none",
+            "--out",
+            &jsonl,
+        ]))
+        .unwrap();
+        assert!(out.contains("2 runs (2 ok"), "{out}");
+        let text = fs::read_to_string(&jsonl).unwrap();
+        assert!(text.contains("\"config\":\"indep_gates=2\""), "{text}");
+        assert!(text.contains("\"config\":\"indep_gates=4\""), "{text}");
+    }
+
+    #[test]
+    fn campaign_injected_faults_are_rows_not_aborts() {
+        let out = run(&argv(&[
+            "campaign",
+            "--circuits",
+            "smoke:70:4:6:4",
+            "--algorithms",
+            "indep",
+            "--timeout-secs",
+            "1",
+            "--inject-panic",
+            "--inject-timeout",
+            "--table",
+            "attacks",
+        ]))
+        .unwrap();
+        assert!(out.contains("panicked"), "{out}");
+        assert!(out.contains("timed_out"), "{out}");
+        assert!(out.contains("3 runs (1 ok, 1 failed, 1 timed out"), "{out}");
+    }
+
+    #[test]
+    fn campaign_cache_serves_the_second_run() {
+        let cache = tmp("campaign-cache");
+        let args = argv(&[
+            "campaign",
+            "--circuits",
+            "cached:70:4:6:4",
+            "--algorithms",
+            "indep",
+            "--cache",
+            &cache,
+            "--table",
+            "none",
+        ]);
+        let first = run(&args).unwrap();
+        assert!(first.contains("0 cached"), "{first}");
+        let second = run(&args).unwrap();
+        assert!(second.contains("1 cached"), "{second}");
+    }
+
+    #[test]
+    fn campaign_rejects_bad_grids() {
+        assert!(matches!(
+            run(&argv(&["campaign", "--circuits", "nosuch"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&argv(&["campaign", "--circuits", "x:1:2"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&argv(&["campaign", "--attacks", "frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&argv(&["campaign", "--table", "table9"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

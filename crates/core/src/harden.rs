@@ -15,10 +15,49 @@
 //! netlist keeps simulating identically) while multiplying the candidate
 //! count `P` the attacks of Equations 2–3 must consider.
 
+use std::error::Error;
+use std::fmt;
+
 use rand::seq::SliceRandom;
 use rand::Rng;
 
 use sttlock_netlist::{graph, Netlist, Node, NodeId, TruthTable};
+
+/// Why the hardening pass refused to run.
+///
+/// These used to be `assert!` process aborts; batch drivers need them
+/// as recordable failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HardenError {
+    /// `max_fanin` exceeds the 6-input LUT limit of the technology.
+    FaninTooWide {
+        /// The requested maximum fan-in.
+        requested: usize,
+    },
+    /// The netlist contains a redacted LUT — hardening needs the
+    /// programmed view (harden first, then [`Netlist::redact`]).
+    RedactedLut {
+        /// Name of the first unprogrammed LUT found.
+        name: String,
+    },
+}
+
+impl fmt::Display for HardenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HardenError::FaninTooWide { requested } => {
+                write!(f, "LUTs support at most 6 inputs (requested {requested})")
+            }
+            HardenError::RedactedLut { name } => write!(
+                f,
+                "harden requires the programmed view; LUT `{name}` is redacted"
+            ),
+        }
+    }
+}
+
+impl Error for HardenError {}
 
 /// Hardening tunables.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,16 +95,24 @@ pub struct HardenReport {
 /// their nets (they become structural decoys when the LUT was their only
 /// reader), and decoy inputs are ignored by the extended truth tables.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the netlist contains redacted LUTs — harden the programmed
-/// view, then [`redact`](Netlist::redact).
+/// Returns [`HardenError::FaninTooWide`] for a `max_fanin` above 6 and
+/// [`HardenError::RedactedLut`] when the netlist is not the programmed
+/// view — harden first, then [`redact`](Netlist::redact). (Both were
+/// `assert!` aborts before the campaign engine needed recorded
+/// failures.) Errors are detected before any mutation, so on `Err` the
+/// netlist is unchanged.
 pub fn harden<R: Rng + ?Sized>(
     netlist: &mut Netlist,
     cfg: &HardenConfig,
     rng: &mut R,
-) -> HardenReport {
-    assert!(cfg.max_fanin <= 6, "LUTs support at most 6 inputs");
+) -> Result<HardenReport, HardenError> {
+    if cfg.max_fanin > 6 {
+        return Err(HardenError::FaninTooWide {
+            requested: cfg.max_fanin,
+        });
+    }
     let mut report = HardenReport::default();
     let luts: Vec<NodeId> = netlist
         .iter()
@@ -73,10 +120,11 @@ pub fn harden<R: Rng + ?Sized>(
         .map(|(id, _)| id)
         .collect();
     for &id in &luts {
-        assert!(
-            netlist.lut_config(id).is_some(),
-            "harden requires the programmed view"
-        );
+        if netlist.lut_config(id).is_none() {
+            return Err(HardenError::RedactedLut {
+                name: netlist.node_name(id).to_owned(),
+            });
+        }
     }
 
     if cfg.absorb {
@@ -102,7 +150,7 @@ pub fn harden<R: Rng + ?Sized>(
             report.decoys_added += 1;
         }
     }
-    report
+    Ok(report)
 }
 
 /// Absorbs one single-fan-out driving gate into the LUT, if any fits.
@@ -253,7 +301,7 @@ mod tests {
             max_fanin: 4,
         };
         let mut rng = StdRng::seed_from_u64(1);
-        let report = harden(&mut hardened, &cfg, &mut rng);
+        let report = harden(&mut hardened, &cfg, &mut rng).unwrap();
         assert_eq!(report.gates_absorbed, 1);
         let y = hardened.find("y").unwrap();
         assert_eq!(hardened.node(y).fanin().len(), 3, "A·(B⊕C) takes 3 inputs");
@@ -270,7 +318,7 @@ mod tests {
             max_fanin: 4,
         };
         let mut rng = StdRng::seed_from_u64(3);
-        let report = harden(&mut hardened, &cfg, &mut rng);
+        let report = harden(&mut hardened, &cfg, &mut rng).unwrap();
         assert!(report.decoys_added >= 1);
         let y = hardened.find("y").unwrap();
         assert!(hardened.node(y).fanin().len() > 2);
@@ -286,7 +334,7 @@ mod tests {
             max_fanin: 4,
         };
         let mut rng = StdRng::seed_from_u64(5);
-        harden(&mut n, &cfg, &mut rng);
+        harden(&mut n, &cfg, &mut rng).unwrap();
         for (_, node) in n.iter() {
             if node.is_lut() {
                 assert!(node.fanin().len() <= 4);
@@ -313,16 +361,30 @@ mod tests {
             max_fanin: 4,
         };
         let mut rng = StdRng::seed_from_u64(6);
-        let report = harden(&mut n, &cfg, &mut rng);
+        let report = harden(&mut n, &cfg, &mut rng).unwrap();
         assert_eq!(report.gates_absorbed, 0);
     }
 
     #[test]
-    #[should_panic(expected = "programmed view")]
-    fn refuses_redacted_luts() {
+    fn refuses_redacted_luts_with_an_error() {
         let n = absorbable();
         let (mut stripped, _) = n.redact();
+        let before = stripped.clone();
         let mut rng = StdRng::seed_from_u64(7);
-        harden(&mut stripped, &HardenConfig::default(), &mut rng);
+        let err = harden(&mut stripped, &HardenConfig::default(), &mut rng).unwrap_err();
+        assert!(matches!(err, HardenError::RedactedLut { .. }), "{err}");
+        assert_eq!(stripped, before, "failed harden must not mutate");
+    }
+
+    #[test]
+    fn refuses_oversized_fanin_with_an_error() {
+        let mut n = absorbable();
+        let cfg = HardenConfig {
+            max_fanin: 7,
+            ..HardenConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let err = harden(&mut n, &cfg, &mut rng).unwrap_err();
+        assert_eq!(err, HardenError::FaninTooWide { requested: 7 });
     }
 }

@@ -100,7 +100,7 @@ proptest! {
             .sum();
         let mut hardened = out.hybrid.clone();
         let mut rng = StdRng::seed_from_u64(harden_seed);
-        harden(&mut hardened, &HardenConfig::default(), &mut rng);
+        harden(&mut hardened, &HardenConfig::default(), &mut rng).unwrap();
         let after: usize = hardened
             .node_ids()
             .filter(|&id| hardened.node(id).is_lut())

@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use sttlock_netlist::{bench_format, graph, verilog, GateKind, NetlistBuilder, TruthTable};
+use sttlock_netlist::{
+    bench_format, graph, verilog, GateKind, NetlistBuilder, NetlistError, TruthTable,
+};
 
 fn arb_table(inputs: usize) -> impl Strategy<Value = TruthTable> {
     any::<u64>().prop_map(move |bits| TruthTable::new(inputs, bits))
@@ -142,6 +144,69 @@ proptest! {
         prop_assert_eq!(back.dff_count(), n.dff_count());
         prop_assert_eq!(back.inputs().len(), n.inputs().len());
         prop_assert_eq!(back.outputs().len(), n.outputs().len());
+    }
+
+    #[test]
+    fn bench_lut_masks_survive_round_trip(n in arb_circuit(), seed in any::<u64>()) {
+        // Replace every other gate with a LUT and program each with an
+        // arbitrary mask, so the round trip exercises `LUT 0x..` lines
+        // beyond the gate-derived truth tables.
+        let mut hybrid = n.clone();
+        let gates: Vec<_> = hybrid
+            .node_ids()
+            .filter(|&id| hybrid.node(id).gate_kind().is_some())
+            .step_by(2)
+            .collect();
+        let mut state = seed | 1;
+        for &id in &gates {
+            hybrid.replace_gate_with_lut(id).expect("narrow gates fit");
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let k = hybrid.node(id).fanin().len();
+            hybrid.set_lut_config(id, TruthTable::new(k, state));
+        }
+
+        // Programmed view: every mask survives write -> parse, by name.
+        let text = bench_format::write(&hybrid);
+        let back = bench_format::parse(&text, hybrid.name()).expect("own output parses");
+        prop_assert_eq!(back.lut_count(), gates.len());
+        for &id in &gates {
+            let name = hybrid.node_name(id);
+            let bid = back.find(name).expect("LUT name survives");
+            prop_assert_eq!(back.lut_config(bid), hybrid.lut_config(id));
+        }
+
+        // Redacted (foundry) view: `LUT ?` lines survive as unprogrammed
+        // LUTs with the same fan-in.
+        let (stripped, secret) = hybrid.redact();
+        let text = bench_format::write(&stripped);
+        prop_assert_eq!(text.matches("LUT ?").count(), secret.len());
+        let back = bench_format::parse(&text, stripped.name()).expect("redacted output parses");
+        for &id in &gates {
+            let bid = back.find(hybrid.node_name(id)).expect("LUT name survives");
+            prop_assert_eq!(back.lut_config(bid), None);
+            prop_assert_eq!(
+                back.node(bid).fanin().len(),
+                hybrid.node(id).fanin().len()
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_lines_report_their_1_based_position(
+        n in arb_circuit(),
+        pick in any::<usize>(),
+    ) {
+        let text = bench_format::write(&n);
+        let mut lines: Vec<&str> = text.lines().collect();
+        let at = pick % (lines.len() + 1);
+        lines.insert(at, "@@ not a bench statement @@");
+        let bad = lines.join("\n");
+        match bench_format::parse(&bad, "bad") {
+            Err(NetlistError::Parse { line, .. }) => prop_assert_eq!(line, at + 1),
+            other => prop_assert!(false, "expected a parse error, got {:?}", other.map(|_| ())),
+        }
     }
 
     #[test]

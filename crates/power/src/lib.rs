@@ -216,6 +216,12 @@ mod tests {
         let act = estimate_activity(&n, 500, &mut rng).unwrap();
         let dynamic = analyze_power(&n, &lib, &act);
         let prob = signal_probabilities(&n);
+        assert!(
+            prob.converged,
+            "cross-check is only meaningful on a converged fixpoint \
+             ({} iterations)",
+            prob.iterations
+        );
         let stat = analyze_power_static(&n, &lib, &prob);
         let ratio = stat.total_uw() / dynamic.total_uw();
         assert!(

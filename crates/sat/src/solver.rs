@@ -108,7 +108,12 @@ impl Solver {
     /// The model value of `v` after a [`SatResult::Sat`] answer.
     ///
     /// Returns `None` before the first satisfiable solve or for variables
-    /// the model leaves unconstrained.
+    /// created *after* it. Within one solve the answer is total: the
+    /// search only reports [`SatResult::Sat`] once the branching heap is
+    /// exhausted, i.e. every variable that existed at solve time —
+    /// including variables in no clause — carries `Some` value (the
+    /// `sat_models_are_total` regression test pins this invariant, which
+    /// DIP extraction in `sttlock-attack` relies on).
     pub fn value(&self, v: Var) -> Option<bool> {
         self.model[v.index()]
     }
@@ -546,6 +551,25 @@ mod tests {
         assert_eq!(s.solve(), SatResult::Sat);
         assert_eq!(s.value(a.var()), Some(false));
         assert_eq!(s.value(b.var()), Some(true));
+    }
+
+    #[test]
+    fn sat_models_are_total() {
+        // DIP extraction in the SAT attack widens model values straight
+        // into oracle stimulus, so a Sat answer must assign *every*
+        // variable — even ones that appear in no clause.
+        let mut s = Solver::new();
+        let a = lit(&mut s, 0, false);
+        let b = lit(&mut s, 1, false);
+        let _unconstrained = lit(&mut s, 2, false);
+        s.add_clause(&[a, b]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        for i in 0..s.num_vars() {
+            assert!(
+                s.value(Var::from_index(i)).is_some(),
+                "variable {i} left unassigned in a Sat model"
+            );
+        }
     }
 
     #[test]

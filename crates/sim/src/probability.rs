@@ -18,6 +18,12 @@ pub struct ProbabilityReport {
     pub p_one: Vec<f64>,
     /// Fixpoint iterations performed.
     pub iterations: usize,
+    /// Whether the sequential fixpoint reached the convergence
+    /// threshold. `false` means the iteration budget ran out first and
+    /// the state probabilities are a truncated estimate — previously
+    /// this was silent; consumers that need trustworthy numbers (the
+    /// power cross-checks) assert it.
+    pub converged: bool,
 }
 
 impl ProbabilityReport {
@@ -59,6 +65,7 @@ pub fn signal_probabilities(netlist: &Netlist) -> ProbabilityReport {
     }
 
     let mut iterations = 0;
+    let mut converged = false;
     for iter in 0..MAX_ITERATIONS {
         iterations = iter + 1;
         for &id in &order {
@@ -74,12 +81,14 @@ pub fn signal_probabilities(netlist: &Netlist) -> ProbabilityReport {
             }
         }
         if delta < EPSILON {
+            converged = true;
             break;
         }
     }
     ProbabilityReport {
         p_one: p,
         iterations,
+        converged,
     }
 }
 
@@ -179,6 +188,19 @@ mod tests {
         let rep = signal_probabilities(&n);
         assert!(rep.of(n.find("state").unwrap()) < 1e-3);
         assert!(rep.iterations <= MAX_ITERATIONS);
+        assert!(rep.converged, "decaying fixpoint must converge");
+    }
+
+    #[test]
+    fn combinational_netlists_converge_immediately() {
+        let mut b = NetlistBuilder::new("m");
+        b.input("a");
+        b.gate("y", GateKind::Not, &["a"]);
+        b.output("y");
+        let n = b.finish().unwrap();
+        let rep = signal_probabilities(&n);
+        assert!(rep.converged);
+        assert_eq!(rep.iterations, 1);
     }
 
     #[test]
@@ -214,6 +236,7 @@ mod tests {
         let rep = ProbabilityReport {
             p_one: vec![0.25],
             iterations: 1,
+            converged: true,
         };
         assert!((rep.activity(NodeId::from_index(0)) - 0.375).abs() < 1e-12);
     }

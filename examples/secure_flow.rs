@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- harden against ML attacks -------------------------------------
     let mut rng = StdRng::seed_from_u64(9);
-    let report = harden(&mut outcome.hybrid, &HardenConfig::default(), &mut rng);
+    let report = harden(&mut outcome.hybrid, &HardenConfig::default(), &mut rng)?;
     println!(
         "hardening: {} decoy inputs, {} gates absorbed into LUTs",
         report.decoys_added, report.gates_absorbed
