@@ -18,7 +18,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use sttlock_netlist::{Netlist, NodeId};
+use sttlock_netlist::{CircuitView, Netlist, NodeId};
 
 use crate::alpha::{alpha_for, p_for};
 
@@ -164,11 +164,14 @@ pub fn missing_gates(netlist: &Netlist) -> Vec<NodeId> {
 /// Returns [`BigEffort::ONE`] when there are no missing gates (a sane
 /// floor: reading the answer still takes a clock).
 pub fn n_indep(netlist: &Netlist) -> BigEffort {
-    let dist = ff_distance_to_output(netlist);
+    n_indep_inner(netlist, &ff_distance_to_output(netlist))
+}
+
+fn n_indep_inner(netlist: &Netlist, dist: &[Option<u32>]) -> BigEffort {
     let mut total = 0.0f64;
     for id in missing_gates(netlist) {
         let fanin = netlist.node(id).fanin().len();
-        let d = depth_of(&dist, id);
+        let d = depth_of(dist, id);
         total += alpha_for(fanin) * d;
     }
     if total <= 0.0 {
@@ -180,7 +183,10 @@ pub fn n_indep(netlist: &Netlist) -> BigEffort {
 
 /// Equation 2: test clocks against dependent selection, `Π αᵢ·Pᵢ·Dᵢ`.
 pub fn n_dep(netlist: &Netlist) -> BigEffort {
-    let dist = ff_distance_to_output(netlist);
+    n_dep_inner(netlist, &ff_distance_to_output(netlist))
+}
+
+fn n_dep_inner(netlist: &Netlist, dist: &[Option<u32>]) -> BigEffort {
     let mut log10 = 0.0f64;
     let luts = missing_gates(netlist);
     if luts.is_empty() {
@@ -188,7 +194,7 @@ pub fn n_dep(netlist: &Netlist) -> BigEffort {
     }
     for id in luts {
         let fanin = netlist.node(id).fanin().len();
-        let d = depth_of(&dist, id);
+        let d = depth_of(dist, id);
         log10 += (alpha_for(fanin) * p_for(fanin) * d).log10();
     }
     BigEffort::from_log10(log10)
@@ -206,11 +212,21 @@ pub fn n_dep(netlist: &Netlist) -> BigEffort {
 /// s641 numbers imply I ≈ PIs + FFs of the cone, not just immediate
 /// drivers.)
 pub fn n_bf(netlist: &Netlist) -> BigEffort {
+    n_bf_with(&CircuitView::new(netlist))
+}
+
+/// [`n_bf`] against a shared [`CircuitView`].
+pub fn n_bf_with(view: &CircuitView<'_>) -> BigEffort {
+    n_bf_inner(view, &ff_distance_to_output(view.netlist()))
+}
+
+fn n_bf_inner(view: &CircuitView<'_>, dist: &[Option<u32>]) -> BigEffort {
+    let netlist = view.netlist();
     let luts = missing_gates(netlist);
     if luts.is_empty() {
         return BigEffort::ONE;
     }
-    let cone = sttlock_netlist::graph::fanin_cone(netlist, &luts, true);
+    let cone = view.fanin_cone(&luts, true);
     let accessible = cone
         .iter()
         .filter(|&&id| {
@@ -223,7 +239,7 @@ pub fn n_bf(netlist: &Netlist) -> BigEffort {
         p_log_sum += p_for(netlist.node(id).fanin().len()).log10();
     }
     let i = accessible as f64;
-    let d = circuit_depth(netlist).max(1) as f64;
+    let d = dist.iter().flatten().copied().max().unwrap_or(0).max(1) as f64;
     BigEffort::from_log10(i * 2f64.log10() + p_log_sum + d.log10())
 }
 
@@ -259,10 +275,18 @@ pub struct SecurityEstimate {
 
 /// Computes all three estimates.
 pub fn security_estimate(netlist: &Netlist) -> SecurityEstimate {
+    security_estimate_with(&CircuitView::new(netlist))
+}
+
+/// [`security_estimate`] against a shared [`CircuitView`], computing
+/// the flip-flop distance map once for all three equations.
+pub fn security_estimate_with(view: &CircuitView<'_>) -> SecurityEstimate {
+    let netlist = view.netlist();
+    let dist = ff_distance_to_output(netlist);
     SecurityEstimate {
-        n_indep: n_indep(netlist),
-        n_dep: n_dep(netlist),
-        n_bf: n_bf(netlist),
+        n_indep: n_indep_inner(netlist, &dist),
+        n_dep: n_dep_inner(netlist, &dist),
+        n_bf: n_bf_inner(view, &dist),
     }
 }
 

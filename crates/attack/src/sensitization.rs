@@ -39,10 +39,11 @@
 //! here observable as a stalled resolution ratio.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rand::Rng;
 
-use sttlock_netlist::{Netlist, Node, NodeId, TruthTable};
+use sttlock_netlist::{CircuitView, HybridOverlay, Netlist, Node, NodeId, TruthTable};
 use sttlock_sat::encode::{assert_some_difference, encode};
 use sttlock_sat::{Lit, SatResult, Solver, Var};
 use sttlock_sim::tri::{Forced, PartialLut, TriSimulator};
@@ -243,6 +244,11 @@ pub fn run<R: Rng + ?Sized>(
                 working.set_lut_config(id, t);
             }
         }
+        // One memoized view per round: the working netlist is frozen for
+        // the whole round, so every hypothesis simulation (two per
+        // pattern) reuses the same evaluation order instead of
+        // recomputing it.
+        let view = CircuitView::new(&working);
         let mut progress = false;
 
         // Random stage.
@@ -256,7 +262,7 @@ pub fn run<R: Rng + ?Sized>(
                 }
                 let inputs: Vec<u64> = (0..n_inputs).map(|_| rng.gen()).collect();
                 let st: Vec<u64> = (0..n_state).map(|_| rng.gen()).collect();
-                progress |= try_pattern(&working, &mut state, g, &inputs, &st)?;
+                progress |= try_pattern(&view, &mut state, g, &inputs, &st)?;
             }
         }
 
@@ -282,7 +288,7 @@ pub fn run<R: Rng + ?Sized>(
                             progress = true;
                         }
                         Some((inputs, st)) => {
-                            progress |= try_pattern(&working, &mut state, g, &inputs, &st)?;
+                            progress |= try_pattern(&view, &mut state, g, &inputs, &st)?;
                         }
                     }
                 }
@@ -353,18 +359,23 @@ fn joint_cluster_stage(redacted: &Netlist, state: &mut AttackState<'_>) -> Resul
         return Ok(());
     }
 
-    // Base netlist: everything already completed is programmed in.
+    // Base netlist: everything already completed is programmed in. The
+    // hypotheses below only differ in LUT configurations, so they share
+    // this base behind an `Arc` and one evaluation order serves all.
     let mut working = redacted.clone();
     for (&id, g) in &state.gates {
         if let Some(t) = g.table() {
             working.set_lut_config(id, t);
         }
     }
+    let base = Arc::new(working);
+    let order = CircuitView::new(&base).topo_order_arc();
 
-    // One concrete netlist per joint hypothesis.
+    // One concrete netlist per joint hypothesis, expressed as a sparse
+    // overlay over the shared base and materialized for SAT encoding.
     let candidates: Vec<Netlist> = (0..1u64 << slots.len())
         .map(|mask| {
-            let mut cand = working.clone();
+            let mut cand = HybridOverlay::new(Arc::clone(&base));
             for &id in &incomplete {
                 let g = &state.gates[&id];
                 let mut bits = g.table_bits & g.resolved_rows;
@@ -375,7 +386,7 @@ fn joint_cluster_stage(redacted: &Netlist, state: &mut AttackState<'_>) -> Resul
                 }
                 cand.set_lut_config(id, TruthTable::new(g.fanin, bits));
             }
-            cand
+            cand.materialize()
         })
         .collect();
 
@@ -398,7 +409,9 @@ fn joint_cluster_stage(redacted: &Netlist, state: &mut AttackState<'_>) -> Resul
         let oracle_obs = state.oracle_sim.observation();
         state.test_clocks += 64;
         alive.retain(|&c| {
-            let mut sim = match Simulator::new(&candidates[c]) {
+            // All candidates are structure-identical to the base, so the
+            // precomputed order is valid for each of them.
+            let mut sim = match Simulator::with_order(&candidates[c], Arc::clone(&order)) {
                 Ok(sim) => sim,
                 Err(_) => return false,
             };
@@ -478,12 +491,13 @@ fn distinguish(a: &Netlist, b: &Netlist) -> Option<(Vec<u64>, Vec<u64>)> {
 /// working netlist, an oracle query, and row deduction for `g`.
 /// Returns whether any new row was resolved.
 fn try_pattern(
-    working: &Netlist,
+    view: &CircuitView<'_>,
     state: &mut AttackState<'_>,
     g: NodeId,
     inputs: &[u64],
     frame_state: &[u64],
 ) -> Result<bool, SimError> {
+    let working = view.netlist();
     let fanin: Vec<NodeId> = working.node(g).fanin().to_vec();
     state.test_clocks += 64;
 
@@ -503,7 +517,7 @@ fn try_pattern(
         }
     };
 
-    let mut sim0 = TriSimulator::new(working);
+    let mut sim0 = TriSimulator::with_view(view);
     with_partials(&mut sim0);
     sim0.eval_frame(inputs, frame_state, &[Forced { node: g, value: 0 }])?;
     let obs0 = sim0.observation();
@@ -511,7 +525,7 @@ fn try_pattern(
     // and unaffected by the forcing (eval_frame cuts feedback via state).
     let fanin_words: Vec<_> = fanin.iter().map(|&f| sim0.value(f)).collect();
 
-    let mut sim1 = TriSimulator::new(working);
+    let mut sim1 = TriSimulator::with_view(view);
     with_partials(&mut sim1);
     sim1.eval_frame(
         inputs,

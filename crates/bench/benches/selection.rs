@@ -10,6 +10,7 @@ use rand::SeedableRng;
 use sttlock_benchgen::profiles;
 use sttlock_core::select::{self, SelectionConfig};
 use sttlock_core::SelectionAlgorithm;
+use sttlock_netlist::CircuitView;
 use sttlock_sta::analyze;
 use sttlock_techlib::Library;
 
@@ -27,16 +28,20 @@ fn bench_selection(c: &mut Criterion) {
                 &netlist,
                 |b, n| {
                     b.iter(|| {
+                        // Fresh view per iteration: the timing includes
+                        // the one-off graph-fact computation, like the
+                        // per-circuit cost a flow run pays.
+                        let view = CircuitView::new(n);
                         let mut rng = StdRng::seed_from_u64(7);
                         match alg {
                             SelectionAlgorithm::Independent => {
-                                select::independent(n, &timing, &cfg, &mut rng)
+                                select::independent(&view, &timing, &cfg, &mut rng)
                             }
                             SelectionAlgorithm::Dependent => {
-                                select::dependent(n, &timing, &cfg, &mut rng)
+                                select::dependent(&view, &timing, &cfg, &mut rng)
                             }
                             SelectionAlgorithm::ParametricAware => {
-                                select::parametric(n, &lib, &timing, &cfg, &mut rng)
+                                select::parametric(&view, &lib, &timing, &cfg, &mut rng)
                             }
                         }
                     })

@@ -338,15 +338,16 @@ mod tests {
 
     #[test]
     fn most_gates_reach_an_output_or_state() {
-        use sttlock_netlist::graph::fanout_map;
+        use sttlock_netlist::CircuitView;
         let p = Profile::custom("t", 200, 8, 6, 10);
         let n = p.generate(&mut StdRng::seed_from_u64(5));
-        let fo = fanout_map(&n);
-        let outputs: std::collections::HashSet<_> = n.outputs().iter().copied().collect();
+        let view = CircuitView::new(&n);
+        let fo = view.fanout();
+        let outputs = view.output_set();
         let dangling = n
             .iter()
             .filter(|(id, node)| {
-                node.is_combinational() && fo[id.index()].is_empty() && !outputs.contains(id)
+                node.is_combinational() && fo[id.index()].is_empty() && !outputs.contains(*id)
             })
             .count();
         // The unread-first fan-in policy keeps dangling cones rare.

@@ -15,10 +15,11 @@
 //!   cost of having no preemption, acceptable for a batch driver whose
 //!   process ends with the campaign.
 
+use std::collections::HashMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -35,6 +36,14 @@ use sttlock_techlib::Library;
 use crate::cache::{cell_key, Cache};
 use crate::record::{AttackMetrics, FlowMetrics, RunRecord, RunStatus};
 use crate::{circuit_seed, AttackKind, CampaignSpec, Cell, CircuitSpec};
+
+/// Shared generation pool: one immutable netlist per (circuit, seed),
+/// built once and handed to every grid cell that needs it. The grid
+/// crosses circuits×seeds with algorithms×attacks, so without the pool
+/// each circuit is regenerated for every algorithm/attack combination.
+/// Only successful generations are cached — the fault-injection specs
+/// panic/hang inside the isolation boundary before reaching the pool.
+type GenPool = Arc<Mutex<HashMap<(String, u64), Arc<Netlist>>>>;
 
 /// Everything a finished campaign reports.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,13 +98,14 @@ pub fn execute(spec: &CampaignSpec) -> CampaignResult {
 
     let slots: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; cells.len()]);
     let next = AtomicUsize::new(0);
+    let pool: GenPool = Arc::new(Mutex::new(HashMap::new()));
 
     thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(cell) = cells.get(i) else { break };
-                let record = run_cell_isolated(cell, spec.timeout, cache.as_ref());
+                let record = run_cell_isolated(cell, spec.timeout, cache.as_ref(), &pool);
                 slots.lock().expect("result mutex poisoned")[i] = Some(record);
             });
         }
@@ -114,14 +124,20 @@ pub fn execute(spec: &CampaignSpec) -> CampaignResult {
 }
 
 /// Runs one cell on a detached thread with a wall-clock budget.
-fn run_cell_isolated(cell: &Cell, timeout: Duration, cache: Option<&Cache>) -> RunRecord {
+fn run_cell_isolated(
+    cell: &Cell,
+    timeout: Duration,
+    cache: Option<&Cache>,
+    pool: &GenPool,
+) -> RunRecord {
     let start = Instant::now();
     let (tx, rx) = mpsc::channel();
     let owned_cell = cell.clone();
     let owned_cache = cache.cloned();
+    let owned_pool = Arc::clone(pool);
     thread::spawn(move || {
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
-            run_cell(&owned_cell, owned_cache.as_ref())
+            run_cell(&owned_cell, owned_cache.as_ref(), &owned_pool)
         }));
         // The receiver may have given up (timeout); that is fine.
         let _ = tx.send(result);
@@ -166,8 +182,19 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Generates the circuit for a cell (the fault-injection cells fault
-/// here, inside the isolation boundary).
-fn generate(circuit: &CircuitSpec, seed: u64) -> Result<Netlist, String> {
+/// here, inside the isolation boundary), serving repeats of the same
+/// (circuit, seed) pair from the shared pool.
+///
+/// The pool key includes the full spec debug form, not just the name:
+/// two `Custom` specs sharing a name but differing in shape must not
+/// collide. The lock is never held across generation, so concurrent
+/// first-generations of the same pair may race — generation is
+/// deterministic per (spec, seed), making the duplicate work harmless.
+fn generate(circuit: &CircuitSpec, seed: u64, pool: &GenPool) -> Result<Arc<Netlist>, String> {
+    let key = (format!("{circuit:?}"), seed);
+    if let Some(hit) = pool.lock().expect("generation pool poisoned").get(&key) {
+        return Ok(Arc::clone(hit));
+    }
     let profile = match circuit {
         CircuitSpec::Profile(name) => {
             profiles::by_name(name).ok_or_else(|| format!("unknown benchmark profile `{name}`"))?
@@ -186,11 +213,15 @@ fn generate(circuit: &CircuitSpec, seed: u64) -> Result<Netlist, String> {
         },
     };
     let mut rng = StdRng::seed_from_u64(circuit_seed(seed, circuit.name()));
-    Ok(profile.generate(&mut rng))
+    let netlist = Arc::new(profile.generate(&mut rng));
+    pool.lock()
+        .expect("generation pool poisoned")
+        .insert(key, Arc::clone(&netlist));
+    Ok(netlist)
 }
 
 /// Runs one cell to completion: generate → cache probe → flow → attack.
-fn run_cell(cell: &Cell, cache: Option<&Cache>) -> RunRecord {
+fn run_cell(cell: &Cell, cache: Option<&Cache>, pool: &GenPool) -> RunRecord {
     let start = Instant::now();
     let algorithm = cell.algorithm.to_string();
     let fail = |status| {
@@ -206,7 +237,7 @@ fn run_cell(cell: &Cell, cache: Option<&Cache>) -> RunRecord {
         r
     };
 
-    let netlist = match generate(&cell.circuit, cell.seed) {
+    let netlist = match generate(&cell.circuit, cell.seed, pool) {
         Ok(n) => n,
         Err(message) => return fail(RunStatus::Failed(message)),
     };
@@ -236,7 +267,7 @@ fn run_cell(cell: &Cell, cache: Option<&Cache>) -> RunRecord {
     if let Some(paths) = cell.overrides.parametric_paths {
         flow.selection.parametric_paths = Some(paths);
     }
-    let outcome = match flow.run(&netlist, cell.algorithm, cell.seed) {
+    let outcome = match flow.run_shared(&netlist, cell.algorithm, cell.seed) {
         Ok(o) => o,
         Err(e) => return fail(RunStatus::Failed(format!("flow failed: {e}"))),
     };

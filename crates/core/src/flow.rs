@@ -1,16 +1,17 @@
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use sttlock_attack::estimate::security_estimate;
-use sttlock_netlist::Netlist;
+use sttlock_netlist::{CircuitView, Netlist};
 use sttlock_power::{analyze_area, analyze_power, OverheadReport};
-use sttlock_sim::activity::estimate_activity;
+use sttlock_sim::activity::estimate_activity_with;
 use sttlock_sim::SimError;
-use sttlock_sta::{analyze, performance_degradation_pct};
+use sttlock_sta::{analyze, analyze_with, performance_degradation_pct};
 use sttlock_techlib::Library;
 
 use crate::replace;
@@ -117,12 +118,33 @@ impl Flow {
         algorithm: SelectionAlgorithm,
         seed: u64,
     ) -> Result<FlowOutcome, FlowError> {
+        self.run_shared(&Arc::new(netlist.clone()), algorithm, seed)
+    }
+
+    /// [`run`](Flow::run) over a shared base netlist: the campaign
+    /// engine holds one `Arc<Netlist>` per generated circuit and every
+    /// worker/algorithm cell runs against it without cloning. Gate
+    /// replacement is applied as a copy-on-write overlay over the same
+    /// base.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Flow::run).
+    pub fn run_shared(
+        &self,
+        base: &Arc<Netlist>,
+        algorithm: SelectionAlgorithm,
+        seed: u64,
+    ) -> Result<FlowOutcome, FlowError> {
+        let netlist: &Netlist = base;
         let mut rng = StdRng::seed_from_u64(seed);
 
-        // Baseline analyses on the pure-CMOS netlist.
-        let base_timing = analyze(netlist, &self.lib);
+        // Baseline analyses on the pure-CMOS netlist, all sharing one
+        // memoized graph view (fanout/topo computed once).
+        let view = CircuitView::new(netlist);
+        let base_timing = analyze_with(&view, &self.lib);
         let mut activity_rng = StdRng::seed_from_u64(seed ^ 0x5EED_AC71);
-        let activity = estimate_activity(netlist, self.activity_cycles, &mut activity_rng)?;
+        let activity = estimate_activity_with(&view, self.activity_cycles, &mut activity_rng)?;
         let base_power = analyze_power(netlist, &self.lib, &activity);
         let base_area = analyze_area(netlist, &self.lib);
 
@@ -130,8 +152,8 @@ impl Flow {
         // baseline analysis above seeds the selection's incremental
         // timing engine instead of being recomputed.
         let t0 = Instant::now();
-        let selection = select::run_with_timing(
-            netlist,
+        let selection = select::run_with_view(
+            &view,
             &self.lib,
             algorithm,
             &self.selection,
@@ -146,7 +168,7 @@ impl Flow {
         // Replacement and hybrid analyses. The activity report indexes by
         // arena position, which replacement preserves; LUT power ignores
         // activity anyway (it is content- and activity-independent).
-        let replacement = replace::apply(netlist, &selection);
+        let replacement = replace::apply_overlay(base.clone(), &selection).into_replacement();
         let hybrid_timing = analyze(&replacement.hybrid, &self.lib);
         let hybrid_power = analyze_power(&replacement.hybrid, &self.lib, &activity);
         let hybrid_area = analyze_area(&replacement.hybrid, &self.lib);

@@ -21,7 +21,7 @@ use std::fmt;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use sttlock_netlist::{graph, Netlist, Node, NodeId, TruthTable};
+use sttlock_netlist::{CircuitView, Netlist, Node, NodeId, TruthTable};
 
 /// Why the hardening pass refused to run.
 ///
@@ -128,7 +128,10 @@ pub fn harden<R: Rng + ?Sized>(
     }
 
     if cfg.absorb {
-        let fanout = graph::fanout_map(netlist);
+        // Snapshot the fanout before the absorb loop mutates wiring
+        // (matching the pass's historical stale-fanout semantics: a
+        // gate absorbed into one LUT is not re-counted for the next).
+        let fanout = CircuitView::new(netlist).fanout_arc();
         for &lut in &luts {
             if try_absorb(netlist, &fanout, lut, cfg.max_fanin) {
                 report.gates_absorbed += 1;
@@ -239,8 +242,10 @@ fn try_add_decoy<R: Rng + ?Sized>(
         }
         // Reject signals downstream of the LUT (combinational cycle);
         // `rewire_lut` re-checks and rolls back, so a cheap pre-filter
-        // plus the rollback is enough.
-        if graph::comb_reachable(netlist, lut, candidate) {
+        // plus the rollback is enough. The view is rebuilt per query:
+        // earlier decoys in this loop already rewired the netlist, so a
+        // cached fanout would answer for stale wiring.
+        if CircuitView::new(netlist).comb_reachable(lut, candidate) {
             continue;
         }
         let mut new_fanin = fanin.clone();

@@ -7,7 +7,9 @@
 //! `hybrid.redact()` to manufacturing and keep the bitstream for
 //! post-fabrication configuration (Figure 2's flow).
 
-use sttlock_netlist::{Netlist, NodeId, TruthTable};
+use std::sync::Arc;
+
+use sttlock_netlist::{HybridOverlay, Netlist, NodeId, TruthTable};
 
 use crate::select::Selection;
 
@@ -24,7 +26,13 @@ pub struct Replacement {
     pub skipped: Vec<NodeId>,
 }
 
-/// Applies a selection to a netlist.
+/// Applies a selection to a netlist by cloning it and mutating in
+/// place.
+///
+/// This is the legacy reference implementation; [`apply_overlay`] is the
+/// copy-on-write equivalent for callers sharing one immutable base
+/// across threads. The two are differentially tested to produce
+/// bit-identical hybrids, bitstreams and `skipped` lists.
 pub fn apply(netlist: &Netlist, selection: &Selection) -> Replacement {
     let mut hybrid = netlist.clone();
     let mut bitstream = Vec::with_capacity(selection.gates.len());
@@ -37,6 +45,54 @@ pub fn apply(netlist: &Netlist, selection: &Selection) -> Replacement {
     }
     Replacement {
         hybrid,
+        bitstream,
+        skipped,
+    }
+}
+
+/// Outcome of a copy-on-write replacement pass: the base netlist stays
+/// shared behind its [`Arc`]; only the replaced gates live in the
+/// overlay's sparse edit map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlayReplacement {
+    /// The programmed hybrid as an overlay over the shared base.
+    pub overlay: HybridOverlay,
+    /// Per-LUT configuration — the design house's secret.
+    pub bitstream: Vec<(NodeId, TruthTable)>,
+    /// Selected gates skipped because their fan-in exceeds the LUT
+    /// capacity (same ordering as [`Replacement::skipped`]).
+    pub skipped: Vec<NodeId>,
+}
+
+impl OverlayReplacement {
+    /// Owns the hybrid: bit-identical to [`apply`] on the same base and
+    /// selection.
+    pub fn into_replacement(self) -> Replacement {
+        Replacement {
+            hybrid: self.overlay.materialize(),
+            bitstream: self.bitstream,
+            skipped: self.skipped,
+        }
+    }
+}
+
+/// Applies a selection as a copy-on-write overlay over a shared base.
+///
+/// Decisions (which gates are replaced, which are skipped, the order of
+/// both lists) match [`apply`] exactly — the overlay's
+/// `replace_gate_with_lut` has the same semantics as the netlist's.
+pub fn apply_overlay(base: Arc<Netlist>, selection: &Selection) -> OverlayReplacement {
+    let mut overlay = HybridOverlay::new(base);
+    let mut bitstream = Vec::with_capacity(selection.gates.len());
+    let mut skipped = Vec::new();
+    for &id in &selection.gates {
+        match overlay.replace_gate_with_lut(id) {
+            Ok(table) => bitstream.push((id, table)),
+            Err(_) => skipped.push(id),
+        }
+    }
+    OverlayReplacement {
+        overlay,
         bitstream,
         skipped,
     }

@@ -10,9 +10,9 @@ use std::collections::HashSet;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use sttlock_netlist::paths::{retain_avoiding, sample_io_paths, IoPath, PathSamplerConfig};
-use sttlock_netlist::{Netlist, NodeId};
-use sttlock_sta::{analyze, degradation_pct_from_periods, IncrementalSta, TimingAnalysis};
+use sttlock_netlist::paths::{retain_avoiding, sample_io_paths_with, IoPath, PathSamplerConfig};
+use sttlock_netlist::{CircuitView, Netlist, NodeId};
+use sttlock_sta::{analyze_with, degradation_pct_from_periods, IncrementalSta, TimingAnalysis};
 use sttlock_techlib::Library;
 
 use crate::oracle::{FullSta, TimingOracle};
@@ -127,11 +127,12 @@ pub struct Selection {
 /// the unfiltered list used, and then only the algorithms with their own
 /// timing checks can still avoid slowing the clock.
 pub fn candidate_paths<R: Rng + ?Sized>(
-    netlist: &Netlist,
+    view: &CircuitView<'_>,
     timing: &TimingAnalysis,
     cfg: &SelectionConfig,
     rng: &mut R,
 ) -> Vec<IoPath> {
+    let netlist = view.netlist();
     let critical_gates: Vec<NodeId> = timing
         .critical_path()
         .iter()
@@ -141,7 +142,7 @@ pub fn candidate_paths<R: Rng + ?Sized>(
     let mut sampler = cfg.sampler;
     let mut paths = Vec::new();
     for _round in 0..4 {
-        paths = sample_io_paths(netlist, &sampler, rng);
+        paths = sample_io_paths_with(view, &sampler, rng);
         let mut filtered = paths.clone();
         retain_avoiding(&mut filtered, &critical_gates);
         if !filtered.is_empty() {
@@ -159,12 +160,13 @@ pub fn candidate_paths<R: Rng + ?Sized>(
 /// the whole gate population when sampling finds no usable path (e.g.
 /// purely combinational designs).
 pub fn independent<R: Rng + ?Sized>(
-    netlist: &Netlist,
+    view: &CircuitView<'_>,
     timing: &TimingAnalysis,
     cfg: &SelectionConfig,
     rng: &mut R,
 ) -> Selection {
-    let paths = candidate_paths(netlist, timing, cfg, rng);
+    let netlist = view.netlist();
+    let paths = candidate_paths(view, timing, cfg, rng);
     let mut pool: Vec<NodeId> = paths
         .iter()
         .flat_map(|p| p.combinational_nodes(netlist))
@@ -196,12 +198,13 @@ pub fn independent<R: Rng + ?Sized>(
 /// deepest sampled paths one is chosen at random, per the Section IV
 /// implementation notes.
 pub fn dependent<R: Rng + ?Sized>(
-    netlist: &Netlist,
+    view: &CircuitView<'_>,
     timing: &TimingAnalysis,
     cfg: &SelectionConfig,
     rng: &mut R,
 ) -> Selection {
-    let paths = candidate_paths(netlist, timing, cfg, rng);
+    let netlist = view.netlist();
+    let paths = candidate_paths(view, timing, cfg, rng);
     let paths_considered = paths.len();
     let Some(deepest) = paths.first().map(|p| p.ff_count) else {
         return Selection {
@@ -232,15 +235,15 @@ pub fn dependent<R: Rng + ?Sized>(
 /// in, and re-draw (the paper's "go to L1") on violation — shrinking the
 /// draw when retries run out. Unselected path gates form the USL; every
 /// off-path gate driving or driven by a USL gate is then also replaced.
-pub fn parametric<R: Rng + ?Sized>(
-    netlist: &Netlist,
-    lib: &Library,
+pub fn parametric<'a, R: Rng + ?Sized>(
+    view: &CircuitView<'a>,
+    lib: &'a Library,
     timing: &TimingAnalysis,
     cfg: &SelectionConfig,
     rng: &mut R,
 ) -> Selection {
-    let mut oracle = IncrementalSta::from_analysis(netlist, lib, timing);
-    parametric_with(netlist, timing, cfg, rng, &mut oracle)
+    let mut oracle = IncrementalSta::from_analysis_with(view, lib, timing);
+    parametric_with(view, timing, cfg, rng, &mut oracle)
 }
 
 /// [`parametric`] driven by the full-reanalysis oracle ([`FullSta`]):
@@ -250,15 +253,15 @@ pub fn parametric<R: Rng + ?Sized>(
 /// [`parametric`] (the oracles agree bit for bit); it exists so the
 /// differential tests and the `incremental_sta` benchmark have the slow
 /// path to compare against.
-pub fn parametric_full_sta<R: Rng + ?Sized>(
-    netlist: &Netlist,
-    lib: &Library,
+pub fn parametric_full_sta<'a, R: Rng + ?Sized>(
+    view: &CircuitView<'a>,
+    lib: &'a Library,
     timing: &TimingAnalysis,
     cfg: &SelectionConfig,
     rng: &mut R,
 ) -> Selection {
-    let mut oracle = FullSta::new(netlist, lib);
-    parametric_with(netlist, timing, cfg, rng, &mut oracle)
+    let mut oracle = FullSta::new(view.netlist(), lib);
+    parametric_with(view, timing, cfg, rng, &mut oracle)
 }
 
 /// Algorithm 2 over any [`TimingOracle`].
@@ -267,13 +270,14 @@ pub fn parametric_full_sta<R: Rng + ?Sized>(
 /// accepted draws stay swapped, rejected draws are reverted before the
 /// next question.
 fn parametric_with<R: Rng + ?Sized, O: TimingOracle>(
-    netlist: &Netlist,
+    view: &CircuitView<'_>,
     timing: &TimingAnalysis,
     cfg: &SelectionConfig,
     rng: &mut R,
     oracle: &mut O,
 ) -> Selection {
-    let paths = candidate_paths(netlist, timing, cfg, rng);
+    let netlist = view.netlist();
+    let paths = candidate_paths(view, timing, cfg, rng);
     let paths_considered = paths.len();
 
     // The paper targets *timing paths* — the FF-to-FF combinational
@@ -356,7 +360,7 @@ fn parametric_with<R: Rng + ?Sized, O: TimingOracle>(
     // property extends to the closure; gates that would blow the budget
     // are skipped).
     let on_path: HashSet<NodeId> = targeted.iter().flat_map(|s| s.iter().copied()).collect();
-    let fanout = sttlock_netlist::graph::fanout_map(netlist);
+    let fanout = view.fanout();
     let mut closure: Vec<NodeId> = Vec::new();
     let mut neighbours: Vec<NodeId> = Vec::new();
     for &u in &usl {
@@ -416,13 +420,13 @@ pub fn run<R: Rng + ?Sized>(
     cfg: &SelectionConfig,
     rng: &mut R,
 ) -> Selection {
-    let timing = analyze(netlist, lib);
-    run_with_timing(netlist, lib, algorithm, cfg, rng, &timing)
+    let view = CircuitView::new(netlist);
+    let timing = analyze_with(&view, lib);
+    run_with_view(&view, lib, algorithm, cfg, rng, &timing)
 }
 
 /// Runs the chosen algorithm against an existing baseline analysis,
-/// avoiding a redundant full pass when the caller (e.g. [`crate::Flow`])
-/// has one already.
+/// avoiding a redundant full pass when the caller has one already.
 pub fn run_with_timing<R: Rng + ?Sized>(
     netlist: &Netlist,
     lib: &Library,
@@ -431,10 +435,26 @@ pub fn run_with_timing<R: Rng + ?Sized>(
     rng: &mut R,
     timing: &TimingAnalysis,
 ) -> Selection {
+    run_with_view(&CircuitView::new(netlist), lib, algorithm, cfg, rng, timing)
+}
+
+/// Runs the chosen algorithm over a shared [`CircuitView`], reusing its
+/// memoized fanout/topo facts across path sampling, the incremental
+/// timing oracle and the USL closure. Callers holding a view (e.g.
+/// [`crate::Flow`]) go through here so the graph facts are computed
+/// once per circuit.
+pub fn run_with_view<'a, R: Rng + ?Sized>(
+    view: &CircuitView<'a>,
+    lib: &'a Library,
+    algorithm: SelectionAlgorithm,
+    cfg: &SelectionConfig,
+    rng: &mut R,
+    timing: &TimingAnalysis,
+) -> Selection {
     match algorithm {
-        SelectionAlgorithm::Independent => independent(netlist, timing, cfg, rng),
-        SelectionAlgorithm::Dependent => dependent(netlist, timing, cfg, rng),
-        SelectionAlgorithm::ParametricAware => parametric(netlist, lib, timing, cfg, rng),
+        SelectionAlgorithm::Independent => independent(view, timing, cfg, rng),
+        SelectionAlgorithm::Dependent => dependent(view, timing, cfg, rng),
+        SelectionAlgorithm::ParametricAware => parametric(view, lib, timing, cfg, rng),
     }
 }
 
@@ -444,8 +464,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use sttlock_benchgen::Profile;
-    use sttlock_netlist::graph::comb_reachable;
-    use sttlock_sta::performance_degradation_pct;
+    use sttlock_sta::{analyze, performance_degradation_pct};
 
     fn circuit() -> Netlist {
         Profile::custom("sel", 220, 8, 8, 6).generate(&mut StdRng::seed_from_u64(5))
@@ -485,10 +504,11 @@ mod tests {
         assert!(sel.gates.len() > 1, "a deep path has several gates");
         // Dependency: at least one selected gate drives another through
         // pure combinational logic or a flip-flop chain along the path.
+        let view = CircuitView::new(&n);
         let connected = sel.gates.iter().any(|&a| {
             sel.gates
                 .iter()
-                .any(|&b| a != b && comb_reachable(&n, a, b))
+                .any(|&b| a != b && view.comb_reachable(a, b))
         });
         assert!(connected, "dependent selection must chain missing gates");
     }
@@ -500,7 +520,12 @@ mod tests {
         let timing = analyze(&n, &lib);
         let critical: HashSet<NodeId> = timing.critical_path().iter().copied().collect();
         let mut rng = StdRng::seed_from_u64(3);
-        let sel = dependent(&n, &timing, &SelectionConfig::default(), &mut rng);
+        let sel = dependent(
+            &CircuitView::new(&n),
+            &timing,
+            &SelectionConfig::default(),
+            &mut rng,
+        );
         for g in &sel.gates {
             assert!(!critical.contains(g), "critical-path gate selected");
         }
@@ -513,7 +538,7 @@ mod tests {
         let timing = analyze(&n, &lib);
         let mut rng = StdRng::seed_from_u64(4);
         let cfg = SelectionConfig::default();
-        let sel = parametric(&n, &lib, &timing, &cfg, &mut rng);
+        let sel = parametric(&CircuitView::new(&n), &lib, &timing, &cfg, &mut rng);
         assert!(!sel.gates.is_empty());
         // The on-path picks respected the budget during selection; the
         // USL closure may add off-path gates. Verify the paper's claim
@@ -526,7 +551,7 @@ mod tests {
         let para_deg = performance_degradation_pct(&timing, &analyze(&hybrid, &lib));
 
         let mut rng2 = StdRng::seed_from_u64(4);
-        let dep = dependent(&n, &timing, &cfg, &mut rng2);
+        let dep = dependent(&CircuitView::new(&n), &timing, &cfg, &mut rng2);
         let mut dep_hybrid = n.clone();
         for &g in &dep.gates {
             if n.node(g).fanin().len() <= 6 {
@@ -546,7 +571,13 @@ mod tests {
         let lib = Library::predictive_90nm();
         let timing = analyze(&n, &lib);
         let mut rng = StdRng::seed_from_u64(6);
-        let sel = parametric(&n, &lib, &timing, &SelectionConfig::default(), &mut rng);
+        let sel = parametric(
+            &CircuitView::new(&n),
+            &lib,
+            &timing,
+            &SelectionConfig::default(),
+            &mut rng,
+        );
         // Closure gates are part of the selection.
         let set: HashSet<NodeId> = sel.gates.iter().copied().collect();
         for c in &sel.usl_closure {
@@ -577,15 +608,16 @@ mod tests {
             let n =
                 Profile::custom("par", gates, 8, 8, 6).generate(&mut StdRng::seed_from_u64(seed));
             let timing = analyze(&n, &lib);
+            let view = CircuitView::new(&n);
             let fast = parametric(
-                &n,
+                &view,
                 &lib,
                 &timing,
                 &cfg,
                 &mut StdRng::seed_from_u64(seed * 7 + 1),
             );
             let reference = parametric_full_sta(
-                &n,
+                &view,
                 &lib,
                 &timing,
                 &cfg,
@@ -629,7 +661,7 @@ mod tests {
             ..SelectionConfig::default()
         };
         let mut rng = StdRng::seed_from_u64(0);
-        let sel = parametric(&n, &lib, &timing, &cfg, &mut rng);
+        let sel = parametric(&CircuitView::new(&n), &lib, &timing, &cfg, &mut rng);
         let spy = n.find("spy").unwrap();
         assert!(
             sel.usl_closure.contains(&spy),

@@ -6,14 +6,19 @@
 //! * parametric-aware selection respects its timing budget;
 //! * hardening preserves function while never shrinking LUT fan-in.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use sttlock_benchgen::Profile;
 use sttlock_core::harden::{harden, HardenConfig};
-use sttlock_core::{Flow, SelectionAlgorithm};
+use sttlock_core::select::{self, SelectionConfig};
+use sttlock_core::{replace, Flow, SelectionAlgorithm};
+use sttlock_netlist::CircuitView;
 use sttlock_sim::Simulator;
+use sttlock_sta::analyze_with;
 use sttlock_techlib::Library;
 
 fn equivalent(a: &sttlock_netlist::Netlist, b: &sttlock_netlist::Netlist, seed: u64) -> bool {
@@ -108,5 +113,37 @@ proptest! {
             .sum();
         prop_assert!(after >= before, "hardening must not narrow LUTs");
         prop_assert!(equivalent(&netlist, &hardened, harden_seed));
+    }
+
+    /// The copy-on-write replacement path must agree bit-for-bit with
+    /// the legacy clone-and-mutate `replace::apply` on every field —
+    /// hybrid netlist, bitstream contents *and order*, and the order of
+    /// skipped nodes — under random selections from every algorithm.
+    #[test]
+    fn overlay_replacement_matches_legacy_apply(
+        circuit_seed in 0u64..1000,
+        select_seed in 0u64..1000,
+        alg in arb_algorithm(),
+    ) {
+        let profile = Profile::custom("prop", 150, 7, 7, 5);
+        let netlist = profile.generate(&mut StdRng::seed_from_u64(circuit_seed));
+        let lib = Library::predictive_90nm();
+        let view = CircuitView::new(&netlist);
+        let timing = analyze_with(&view, &lib);
+        let selection = select::run_with_view(
+            &view,
+            &lib,
+            alg,
+            &SelectionConfig::default(),
+            &mut StdRng::seed_from_u64(select_seed),
+            &timing,
+        );
+
+        let legacy = replace::apply(&netlist, &selection);
+        let cow = replace::apply_overlay(Arc::new(netlist.clone()), &selection);
+        prop_assert_eq!(&cow.bitstream, &legacy.bitstream);
+        prop_assert_eq!(&cow.skipped, &legacy.skipped);
+        prop_assert_eq!(cow.overlay.materialize(), legacy.hybrid.clone());
+        prop_assert_eq!(cow.into_replacement(), legacy);
     }
 }

@@ -22,6 +22,14 @@ use crate::netlist::Netlist;
 /// Panics if the netlist contains a combinational cycle, which a validated
 /// [`Netlist`] cannot.
 pub fn topo_order(netlist: &Netlist) -> Vec<NodeId> {
+    topo_order_with(netlist, &fanout_map(netlist))
+}
+
+/// [`topo_order`] against a precomputed fan-out map — the shared
+/// implementation behind the free function and
+/// [`CircuitView`](crate::view::CircuitView), guaranteeing both produce
+/// the same order.
+pub(crate) fn topo_order_with(netlist: &Netlist, fanout: &[Vec<NodeId>]) -> Vec<NodeId> {
     let n = netlist.len();
     let mut indeg = vec![0u32; n];
     for (id, node) in netlist.iter() {
@@ -33,7 +41,6 @@ pub fn topo_order(netlist: &Netlist) -> Vec<NodeId> {
                 .count() as u32;
         }
     }
-    let fanout = fanout_map(netlist);
     let mut queue: VecDeque<NodeId> = netlist
         .iter()
         .filter(|(id, node)| node.is_combinational() && indeg[id.index()] == 0)
@@ -72,8 +79,13 @@ pub fn fanout_map(netlist: &Netlist) -> Vec<Vec<NodeId>> {
 /// Logic level of every node: sources are level 0; a combinational node is
 /// one more than its deepest combinational fan-in.
 pub fn levels(netlist: &Netlist) -> Vec<u32> {
+    levels_with(netlist, &topo_order(netlist))
+}
+
+/// [`levels`] against a precomputed topological order.
+pub(crate) fn levels_with(netlist: &Netlist, topo: &[NodeId]) -> Vec<u32> {
     let mut level = vec![0u32; netlist.len()];
-    for id in topo_order(netlist) {
+    for &id in topo {
         let node = netlist.node(id);
         let deepest = node
             .fanin()
@@ -122,7 +134,16 @@ pub fn fanin_cone(netlist: &Netlist, roots: &[NodeId], cross_dffs: bool) -> Vec<
 /// The transitive fan-out cone of `roots`, crossing flip-flops if
 /// `cross_dffs` is set. The result includes the roots themselves.
 pub fn fanout_cone(netlist: &Netlist, roots: &[NodeId], cross_dffs: bool) -> Vec<NodeId> {
-    let fanout = fanout_map(netlist);
+    fanout_cone_with(netlist, &fanout_map(netlist), roots, cross_dffs)
+}
+
+/// [`fanout_cone`] against a precomputed fan-out map.
+pub(crate) fn fanout_cone_with(
+    netlist: &Netlist,
+    fanout: &[Vec<NodeId>],
+    roots: &[NodeId],
+    cross_dffs: bool,
+) -> Vec<NodeId> {
     let mut seen = vec![false; netlist.len()];
     let mut stack: Vec<NodeId> = roots.to_vec();
     let mut cone = Vec::new();
@@ -152,10 +173,19 @@ pub fn fanout_cone(netlist: &Netlist, roots: &[NodeId], cross_dffs: bool) -> Vec
 /// crossing flip-flops). Used to check the "dependent" property: a missing
 /// gate drives another missing gate through pure logic.
 pub fn comb_reachable(netlist: &Netlist, from: NodeId, target: NodeId) -> bool {
+    comb_reachable_with(netlist, &fanout_map(netlist), from, target)
+}
+
+/// [`comb_reachable`] against a precomputed fan-out map.
+pub(crate) fn comb_reachable_with(
+    netlist: &Netlist,
+    fanout: &[Vec<NodeId>],
+    from: NodeId,
+    target: NodeId,
+) -> bool {
     if from == target {
         return true;
     }
-    let fanout = fanout_map(netlist);
     let mut seen = vec![false; netlist.len()];
     let mut stack = vec![from];
     while let Some(id) = stack.pop() {

@@ -13,6 +13,13 @@
 //!   *similarity* measure the paper uses to derive the α attack constants.
 //! * [`graph`] — topological ordering, logic levels, fan-out maps and cone
 //!   extraction over the combinational core.
+//! * [`view::CircuitView`] — the shared analysis layer: each graph fact
+//!   is computed at most once per circuit and every consumer (simulation,
+//!   timing, SAT encoding, selection, attacks) reads the same memo.
+//! * [`overlay::HybridOverlay`] — copy-on-write hybrid variants: one
+//!   immutable base netlist plus sparse LUT-replacement edits, with a
+//!   [`materialize`](overlay::HybridOverlay::materialize) path that is
+//!   bit-identical to clone-then-mutate.
 //! * [`paths`] — the Section-IV path sampler: random components are traced
 //!   to a primary input and a primary output through at least two
 //!   flip-flops, yielding the I/O paths the selection algorithms consume.
@@ -45,15 +52,21 @@ mod error;
 mod id;
 mod netlist;
 mod node;
+mod set;
 mod truth;
 
 pub mod bench_format;
 pub mod graph;
+pub mod overlay;
 pub mod paths;
 pub mod verilog;
+pub mod view;
 
 pub use error::NetlistError;
 pub use id::NodeId;
 pub use netlist::{Netlist, NetlistBuilder, NetlistStats};
 pub use node::{GateKind, Node};
+pub use overlay::HybridOverlay;
+pub use set::NodeSet;
 pub use truth::{meaningful_gates, TruthTable, MAX_LUT_INPUTS};
+pub use view::CircuitView;

@@ -122,6 +122,24 @@ impl Netlist {
         self.nodes.iter().filter(|n| n.is_lut()).count()
     }
 
+    /// The first redacted (unprogrammed) LUT in arena order, if any.
+    ///
+    /// The two-valued engines reject netlists with missing functions;
+    /// they share this scan instead of each rolling their own.
+    pub fn first_unprogrammed_lut(&self) -> Option<NodeId> {
+        self.iter()
+            .find(|(_, node)| matches!(node, Node::Lut { config: None, .. }))
+            .map(|(id, _)| id)
+    }
+
+    /// Overwrites the node stored at `id`. Only for
+    /// [`HybridOverlay`](crate::overlay::HybridOverlay) materialization,
+    /// which guarantees the replacement preserves fan-in wiring and
+    /// therefore acyclicity.
+    pub(crate) fn set_node(&mut self, id: NodeId, node: Node) {
+        self.nodes[id.index()] = node;
+    }
+
     /// Summary statistics.
     pub fn stats(&self) -> NetlistStats {
         let mut s = NetlistStats {

@@ -1,0 +1,276 @@
+//! Copy-on-write hybrid-netlist overlays.
+//!
+//! Every selection algorithm, the attack loop's hypothesis enumeration
+//! and the campaign runner derive *variants* of one base circuit that
+//! differ only in which gates became STT LUTs and what those LUTs are
+//! programmed with. Cloning the whole arena per variant is O(circuit);
+//! a [`HybridOverlay`] keeps one immutable [`Arc<Netlist>`] base plus a
+//! sparse edit map, so a variant costs O(edits) and many variants — even
+//! across worker threads — share the same base storage.
+//!
+//! Because every edit the overlay can express preserves the node's
+//! fan-in wiring, all graph facts of the base (topological order,
+//! fan-out map, levels, cones) remain valid for every overlay — one
+//! [`CircuitView`](crate::view::CircuitView) of the base serves them
+//! all. [`materialize`](HybridOverlay::materialize) produces a plain
+//! [`Netlist`] bit-identical to cloning the base and applying the same
+//! mutation calls directly.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::error::NetlistError;
+use crate::id::NodeId;
+use crate::netlist::Netlist;
+use crate::node::{GateKind, Node};
+use crate::truth::{TruthTable, MAX_LUT_INPUTS};
+
+/// A sparse set of wiring-preserving edits over a shared base netlist.
+///
+/// Supported edits mirror the [`Netlist`] mutation entry points that the
+/// hybrid flow uses: [`replace_gate_with_lut`], [`restore_lut_to_gate`],
+/// [`set_lut_config`] and [`program`]. Structural rewires
+/// ([`Netlist::rewire_lut`]) are deliberately *not* supported — they
+/// would invalidate the base's graph facts, defeating the sharing.
+///
+/// [`replace_gate_with_lut`]: HybridOverlay::replace_gate_with_lut
+/// [`restore_lut_to_gate`]: HybridOverlay::restore_lut_to_gate
+/// [`set_lut_config`]: HybridOverlay::set_lut_config
+/// [`program`]: HybridOverlay::program
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HybridOverlay {
+    base: Arc<Netlist>,
+    edits: BTreeMap<NodeId, Node>,
+}
+
+impl HybridOverlay {
+    /// An overlay with no edits over `base`.
+    pub fn new(base: Arc<Netlist>) -> Self {
+        HybridOverlay {
+            base,
+            edits: BTreeMap::new(),
+        }
+    }
+
+    /// The shared base netlist.
+    pub fn base(&self) -> &Arc<Netlist> {
+        &self.base
+    }
+
+    /// The node as seen through the overlay: the edited node if `id` was
+    /// edited, the base node otherwise.
+    pub fn node(&self, id: NodeId) -> &Node {
+        self.edits.get(&id).unwrap_or_else(|| self.base.node(id))
+    }
+
+    /// Whether `id` has been edited.
+    pub fn is_edited(&self, id: NodeId) -> bool {
+        self.edits.contains_key(&id)
+    }
+
+    /// Number of edited nodes.
+    pub fn edit_count(&self) -> usize {
+        self.edits.len()
+    }
+
+    /// The edits, in ascending node-id order.
+    pub fn edits(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.edits.iter().map(|(&id, node)| (id, node))
+    }
+
+    /// The programmed configuration of the LUT at `id`, if any — the
+    /// overlay analogue of [`Netlist::lut_config`].
+    pub fn lut_config(&self, id: NodeId) -> Option<TruthTable> {
+        match self.node(id) {
+            Node::Lut { config, .. } => *config,
+            _ => None,
+        }
+    }
+
+    /// Replaces the standard cell at `id` with an equivalent programmed
+    /// STT-LUT — the overlay analogue of
+    /// [`Netlist::replace_gate_with_lut`], with identical semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::LutTooWide`] if the gate fan-in exceeds
+    /// the LUT capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a [`Node::Gate`] (through the
+    /// overlay).
+    pub fn replace_gate_with_lut(&mut self, id: NodeId) -> Result<TruthTable, NetlistError> {
+        let (kind, fanin) = match self.node(id) {
+            Node::Gate { kind, fanin } => (*kind, fanin.clone()),
+            other => panic!("replace_gate_with_lut: node {id} is {other:?}, not a gate"),
+        };
+        if fanin.len() > MAX_LUT_INPUTS {
+            return Err(NetlistError::LutTooWide {
+                name: self.base.node_name(id).to_owned(),
+                fanin: fanin.len(),
+            });
+        }
+        let config = TruthTable::from_gate(kind, fanin.len());
+        self.edits.insert(
+            id,
+            Node::Lut {
+                fanin,
+                config: Some(config),
+            },
+        );
+        Ok(config)
+    }
+
+    /// Reverts a LUT back into a standard cell — the overlay analogue of
+    /// [`Netlist::restore_lut_to_gate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a LUT (through the overlay) or the kind's
+    /// arity does not fit the existing fan-in.
+    pub fn restore_lut_to_gate(&mut self, id: NodeId, kind: GateKind) {
+        let fanin = match self.node(id) {
+            Node::Lut { fanin, .. } => fanin.clone(),
+            other => panic!("restore_lut_to_gate: node {id} is {other:?}, not a LUT"),
+        };
+        assert!(
+            kind.arity_ok(fanin.len()),
+            "{kind} cannot take the LUT's fan-in {}",
+            fanin.len()
+        );
+        self.edits.insert(id, Node::Gate { kind, fanin });
+    }
+
+    /// Programs (or reprograms) the LUT at `id` — the overlay analogue
+    /// of [`Netlist::set_lut_config`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a LUT (through the overlay) or the table
+    /// fan-in does not match the LUT fan-in.
+    pub fn set_lut_config(&mut self, id: NodeId, table: TruthTable) {
+        let fanin = match self.node(id) {
+            Node::Lut { fanin, .. } => fanin.clone(),
+            other => panic!("set_lut_config: node {id} is {other:?}, not a LUT"),
+        };
+        assert_eq!(
+            table.inputs(),
+            fanin.len(),
+            "truth table fan-in must match LUT fan-in"
+        );
+        self.edits.insert(
+            id,
+            Node::Lut {
+                fanin,
+                config: Some(table),
+            },
+        );
+    }
+
+    /// Programs a redacted base from a bitstream — the overlay analogue
+    /// of [`Netlist::program`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is not a LUT or a table width mismatches.
+    pub fn program(&mut self, bitstream: &[(NodeId, TruthTable)]) {
+        for &(id, table) in bitstream {
+            self.set_lut_config(id, table);
+        }
+    }
+
+    /// Produces a plain [`Netlist`] equal to cloning the base and
+    /// applying this overlay's mutations directly — bit-identical,
+    /// because the edits store the exact final node each mutation entry
+    /// point would have written.
+    pub fn materialize(&self) -> Netlist {
+        let mut netlist = (*self.base).clone();
+        for (&id, node) in &self.edits {
+            netlist.set_node(id, node.clone());
+        }
+        netlist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+
+    fn toy() -> Arc<Netlist> {
+        let mut b = NetlistBuilder::new("toy");
+        b.input("a");
+        b.input("b");
+        b.gate("g1", GateKind::Nand, &["a", "b"]);
+        b.dff("q", "g1");
+        b.gate("g2", GateKind::Xor, &["q", "a"]);
+        b.output("g2");
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn materialize_matches_clone_then_mutate() {
+        let base = toy();
+        let g1 = base.find("g1").unwrap();
+
+        let mut overlay = HybridOverlay::new(Arc::clone(&base));
+        let t_overlay = overlay.replace_gate_with_lut(g1).unwrap();
+
+        let mut legacy = (*base).clone();
+        let t_legacy = legacy.replace_gate_with_lut(g1).unwrap();
+
+        assert_eq!(t_overlay, t_legacy);
+        assert_eq!(overlay.materialize(), legacy);
+    }
+
+    #[test]
+    fn base_is_shared_not_cloned() {
+        let base = toy();
+        let overlay = HybridOverlay::new(Arc::clone(&base));
+        assert!(Arc::ptr_eq(overlay.base(), &base));
+        assert_eq!(overlay.edit_count(), 0);
+        assert_eq!(overlay.materialize(), *base);
+    }
+
+    #[test]
+    fn reads_pass_through_edits() {
+        let base = toy();
+        let g1 = base.find("g1").unwrap();
+        let mut overlay = HybridOverlay::new(Arc::clone(&base));
+        assert_eq!(overlay.node(g1).gate_kind(), Some(GateKind::Nand));
+        overlay.replace_gate_with_lut(g1).unwrap();
+        assert!(overlay.node(g1).is_lut());
+        assert!(overlay.is_edited(g1));
+        assert_eq!(
+            overlay.lut_config(g1),
+            Some(TruthTable::from_gate(GateKind::Nand, 2))
+        );
+        // The shared base is untouched.
+        assert!(!base.node(g1).is_lut());
+    }
+
+    #[test]
+    fn restore_round_trips() {
+        let base = toy();
+        let g1 = base.find("g1").unwrap();
+        let mut overlay = HybridOverlay::new(Arc::clone(&base));
+        overlay.replace_gate_with_lut(g1).unwrap();
+        overlay.restore_lut_to_gate(g1, GateKind::Nand);
+        assert_eq!(overlay.materialize(), *base);
+    }
+
+    #[test]
+    fn program_mirrors_netlist_program() {
+        let base = toy();
+        let g1 = base.find("g1").unwrap();
+        let mut hybrid = (*base).clone();
+        hybrid.replace_gate_with_lut(g1).unwrap();
+        let (stripped, bitstream) = hybrid.redact();
+
+        let stripped = Arc::new(stripped);
+        let mut overlay = HybridOverlay::new(Arc::clone(&stripped));
+        overlay.program(&bitstream);
+        assert_eq!(overlay.materialize(), hybrid);
+    }
+}

@@ -14,9 +14,10 @@ use std::collections::HashSet;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::graph::fanout_map;
 use crate::id::NodeId;
 use crate::netlist::Netlist;
+use crate::set::NodeSet;
+use crate::view::CircuitView;
 
 /// A primary-input → primary-output path through the sequential netlist.
 ///
@@ -24,18 +25,50 @@ use crate::netlist::Netlist;
 /// output; consecutive nodes are connected by a fan-in/fan-out edge, and
 /// the path may cross flip-flops (those crossings define its
 /// [`ff_count`](IoPath::ff_count), the paper's "depth").
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Membership queries ([`contains`](IoPath::contains)) are O(1): the
+/// constructor precomputes a [`NodeSet`] bitset over the path nodes.
+/// Equality and hashing consider only `nodes` and `ff_count`.
+#[derive(Debug, Clone)]
 pub struct IoPath {
     /// Path nodes from primary input to output driver, inclusive.
     pub nodes: Vec<NodeId>,
     /// Number of flip-flops on the path — the paper's depth `D`.
     pub ff_count: usize,
+    /// Precomputed membership bitset over `nodes`.
+    member: NodeSet,
+}
+
+impl PartialEq for IoPath {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes && self.ff_count == other.ff_count
+    }
+}
+
+impl Eq for IoPath {}
+
+impl std::hash::Hash for IoPath {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.nodes.hash(state);
+        self.ff_count.hash(state);
+    }
 }
 
 impl IoPath {
-    /// Whether `id` lies on the path.
+    /// Builds a path from its node sequence, precomputing the membership
+    /// bitset. `ff_count` is the number of flip-flops among `nodes`.
+    pub fn new(nodes: Vec<NodeId>, ff_count: usize) -> Self {
+        let member = nodes.iter().copied().collect();
+        IoPath {
+            nodes,
+            ff_count,
+            member,
+        }
+    }
+
+    /// Whether `id` lies on the path. O(1) via the precomputed bitset.
     pub fn contains(&self, id: NodeId) -> bool {
-        self.nodes.contains(&id)
+        self.member.contains(id)
     }
 
     /// Splits the I/O path into its *timing paths*: maximal combinational
@@ -107,6 +140,17 @@ pub fn sample_io_paths<R: Rng + ?Sized>(
     cfg: &PathSamplerConfig,
     rng: &mut R,
 ) -> Vec<IoPath> {
+    sample_io_paths_with(&CircuitView::new(netlist), cfg, rng)
+}
+
+/// [`sample_io_paths`] against a shared [`CircuitView`], reusing its
+/// memoized fan-out map and output set instead of recomputing them.
+pub fn sample_io_paths_with<R: Rng + ?Sized>(
+    view: &CircuitView<'_>,
+    cfg: &PathSamplerConfig,
+    rng: &mut R,
+) -> Vec<IoPath> {
+    let netlist = view.netlist();
     let comb: Vec<NodeId> = netlist
         .iter()
         .filter(|(_, n)| n.is_combinational())
@@ -120,8 +164,8 @@ pub fn sample_io_paths<R: Rng + ?Sized>(
         .min(comb.len());
     let seeds: Vec<NodeId> = comb.choose_multiple(rng, want).copied().collect();
 
-    let fanout = fanout_map(netlist);
-    let output_set: HashSet<NodeId> = netlist.outputs().iter().copied().collect();
+    let fanout = view.fanout();
+    let output_set = view.output_set();
 
     let mut unique: HashSet<Vec<NodeId>> = HashSet::new();
     let mut paths = Vec::new();
@@ -130,7 +174,7 @@ pub fn sample_io_paths<R: Rng + ?Sized>(
             let Some(back) = dfs_to_input(netlist, seed, rng) else {
                 break; // no PI reachable at all; retrying will not help much
             };
-            let Some(fwd) = dfs_to_output(netlist, &fanout, &output_set, seed, rng) else {
+            let Some(fwd) = dfs_to_output(netlist, fanout, output_set, seed, rng) else {
                 break;
             };
             // back ends at seed; fwd starts at seed.
@@ -144,7 +188,7 @@ pub fn sample_io_paths<R: Rng + ?Sized>(
                 continue; // randomized retry may find a deeper route
             }
             if unique.insert(nodes.clone()) {
-                paths.push(IoPath { nodes, ff_count });
+                paths.push(IoPath::new(nodes, ff_count));
                 break;
             }
         }
@@ -200,7 +244,7 @@ fn dfs_to_input<R: Rng + ?Sized>(
 fn dfs_to_output<R: Rng + ?Sized>(
     netlist: &Netlist,
     fanout: &[Vec<NodeId>],
-    outputs: &HashSet<NodeId>,
+    outputs: &NodeSet,
     start: NodeId,
     rng: &mut R,
 ) -> Option<Vec<NodeId>> {
@@ -209,7 +253,7 @@ fn dfs_to_output<R: Rng + ?Sized>(
     visited[start.index()] = true;
     trail.push((start, shuffled(&fanout[start.index()], rng)));
     while let Some((node, children)) = trail.last_mut() {
-        if outputs.contains(node) {
+        if outputs.contains(*node) {
             return Some(trail.iter().map(|(n, _)| *n).collect());
         }
         match children.pop() {
@@ -302,13 +346,13 @@ mod tests {
     #[test]
     fn segments_split_on_ffs() {
         let n = pipeline();
-        let path = IoPath {
-            nodes: ["in", "g0", "ff1", "g1", "ff2", "g2"]
+        let path = IoPath::new(
+            ["in", "g0", "ff1", "g1", "ff2", "g2"]
                 .iter()
                 .map(|s| n.find(s).unwrap())
                 .collect(),
-            ff_count: 2,
-        };
+            2,
+        );
         let segs = path.segments(&n);
         assert_eq!(segs.len(), 3);
         assert_eq!(segs[0], vec![n.find("g0").unwrap()]);

@@ -1,0 +1,106 @@
+//! Compact membership sets over [`NodeId`]s.
+//!
+//! Selection loops ask "is this node on that path?" once per candidate
+//! gate; a `Vec::contains` scan there turns an O(gates) pass into
+//! O(gates × path length). [`NodeSet`] answers the same question from a
+//! packed bit vector in O(1).
+
+use crate::id::NodeId;
+
+/// A membership set over [`NodeId`]s, one bit per node index.
+///
+/// The set grows on insert; [`contains`](NodeSet::contains) on an id
+/// beyond the allocated range is simply `false`, so a set built against
+/// one netlist can be queried with ids from a larger one without
+/// panicking.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct NodeSet {
+    bits: Vec<u64>,
+}
+
+impl NodeSet {
+    /// An empty set with room for `capacity` node indices preallocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        NodeSet {
+            bits: vec![0; capacity.div_ceil(64)],
+        }
+    }
+
+    /// Adds `id` to the set, growing the backing storage if needed.
+    pub fn insert(&mut self, id: NodeId) {
+        let (word, bit) = (id.index() / 64, id.index() % 64);
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        self.bits[word] |= 1 << bit;
+    }
+
+    /// Whether `id` is in the set.
+    pub fn contains(&self, id: NodeId) -> bool {
+        let (word, bit) = (id.index() / 64, id.index() % 64);
+        self.bits.get(word).is_some_and(|w| w >> bit & 1 == 1)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut set = NodeSet::default();
+        for id in iter {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+impl Extend<NodeId> for NodeSet {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = NodeSet::with_capacity(10);
+        assert!(s.is_empty());
+        s.insert(id(3));
+        s.insert(id(64));
+        s.insert(id(3)); // idempotent
+        assert!(s.contains(id(3)));
+        assert!(s.contains(id(64)));
+        assert!(!s.contains(id(2)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn out_of_range_query_is_false() {
+        let s: NodeSet = [id(1)].into_iter().collect();
+        assert!(!s.contains(id(1_000_000)));
+    }
+
+    #[test]
+    fn equality_ignores_construction_order() {
+        let a: NodeSet = [id(1), id(70)].into_iter().collect();
+        let b: NodeSet = [id(70), id(1)].into_iter().collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,10 +1,13 @@
 //! Property-based tests for the netlist substrate: truth-table algebra,
 //! random-circuit structural invariants, and format round-trips.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 
 use sttlock_netlist::{
-    bench_format, graph, verilog, GateKind, NetlistBuilder, NetlistError, TruthTable,
+    bench_format, graph, verilog, CircuitView, GateKind, HybridOverlay, NetlistBuilder,
+    NetlistError, TruthTable,
 };
 
 fn arb_table(inputs: usize) -> impl Strategy<Value = TruthTable> {
@@ -225,5 +228,111 @@ proptest! {
         let mut restored = stripped;
         restored.program(&secret);
         prop_assert_eq!(restored, hybrid);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A copy-on-write overlay, driven by an arbitrary interleaving of
+    /// gate→LUT swaps, reprogrammings and gate restorations, must
+    /// materialize bit-for-bit into what the same script produces by
+    /// cloning the netlist and mutating it in place — checked after
+    /// every step, not just at the end.
+    #[test]
+    fn overlay_materialize_equals_clone_then_mutate(
+        n in arb_circuit(),
+        script in prop::collection::vec((0u8..3, any::<u32>(), any::<u64>()), 1..24),
+    ) {
+        let base = Arc::new(n);
+        let gates: Vec<_> = base
+            .node_ids()
+            .filter(|&id| base.node(id).gate_kind().is_some())
+            .collect();
+        prop_assert!(!gates.is_empty());
+        let mut overlay = HybridOverlay::new(Arc::clone(&base));
+        let mut mutated = (*base).clone();
+        for (op, pick, bits) in script {
+            let id = gates[pick as usize % gates.len()];
+            match op {
+                0 => {
+                    if overlay.node(id).gate_kind().is_some() {
+                        let a = overlay.replace_gate_with_lut(id);
+                        let b = mutated.replace_gate_with_lut(id);
+                        prop_assert_eq!(a.ok(), b.ok());
+                    }
+                }
+                1 => {
+                    if overlay.node(id).is_lut() {
+                        let k = overlay.node(id).fanin().len();
+                        let t = TruthTable::new(k, bits);
+                        overlay.set_lut_config(id, t);
+                        mutated.set_lut_config(id, t);
+                    }
+                }
+                _ => {
+                    if overlay.node(id).is_lut() {
+                        let kind = base.node(id).gate_kind().expect("was a gate");
+                        overlay.restore_lut_to_gate(id, kind);
+                        mutated.restore_lut_to_gate(id, kind);
+                    }
+                }
+            }
+            prop_assert_eq!(overlay.materialize(), mutated.clone());
+        }
+        // The base behind the overlay was never touched.
+        let untouched = HybridOverlay::new(Arc::clone(&base)).materialize();
+        prop_assert_eq!(untouched, (*base).clone());
+    }
+
+    /// After any run of overlay edits, a fresh view over the
+    /// materialized variant answers exactly like the free `graph::*`
+    /// recomputations — and, because LUT swaps preserve wiring, exactly
+    /// like the memoized view of the shared base.
+    #[test]
+    fn view_matches_fresh_recomputation_after_overlay_edits(
+        n in arb_circuit(),
+        picks in prop::collection::vec(any::<u32>(), 1..10),
+    ) {
+        let base = Arc::new(n);
+        let gates: Vec<_> = base
+            .node_ids()
+            .filter(|&id| base.node(id).gate_kind().is_some())
+            .collect();
+        prop_assert!(!gates.is_empty());
+        let base_view = CircuitView::new(&base);
+        // Warm every memo before the edits start.
+        let _ = (base_view.topo_order(), base_view.fanout(), base_view.levels());
+
+        let mut overlay = HybridOverlay::new(Arc::clone(&base));
+        for pick in picks {
+            let id = gates[pick as usize % gates.len()];
+            if overlay.node(id).gate_kind().is_some() {
+                let _ = overlay.replace_gate_with_lut(id);
+            }
+            let mat = overlay.materialize();
+            let view = CircuitView::new(&mat);
+            let fresh_topo = graph::topo_order(&mat);
+            let fresh_fanout = graph::fanout_map(&mat);
+            let fresh_levels = graph::levels(&mat);
+            prop_assert_eq!(view.topo_order(), fresh_topo.as_slice());
+            prop_assert_eq!(view.fanout(), fresh_fanout.as_slice());
+            prop_assert_eq!(view.levels(), fresh_levels.as_slice());
+            prop_assert_eq!(view.comb_depth(), graph::comb_depth(&mat));
+            let roots = [gates[0]];
+            prop_assert_eq!(
+                view.fanin_cone(&roots, true),
+                graph::fanin_cone(&mat, &roots, true)
+            );
+            prop_assert_eq!(
+                view.fanout_cone(&roots, false),
+                graph::fanout_cone(&mat, &roots, false)
+            );
+            // LUT swaps never rewire fan-ins, so the *base* view's facts
+            // remain valid for every materialized variant.
+            prop_assert_eq!(base_view.topo_order(), view.topo_order());
+            prop_assert_eq!(base_view.fanout(), view.fanout());
+            prop_assert_eq!(base_view.levels(), view.levels());
+        }
     }
 }

@@ -49,7 +49,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use sttlock_netlist::{graph, GateKind, Netlist, NetlistBuilder, NetlistError, Node};
+use sttlock_netlist::{CircuitView, GateKind, Netlist, NetlistBuilder, NetlistError, Node};
 
 /// Counters describing what [`optimize`] did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -156,7 +156,7 @@ pub fn optimize(netlist: &Netlist) -> Result<(Netlist, OptReport), NetlistError>
     };
 
     // Combinational nodes in dependency order.
-    for id in graph::topo_order(netlist) {
+    for &id in CircuitView::new(netlist).topo_order() {
         let name = netlist.node_name(id).to_owned();
         let node = netlist.node(id);
         let subs: Vec<Rep> = node

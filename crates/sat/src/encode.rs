@@ -305,14 +305,15 @@ mod tests {
     /// netlist: for every input assignment, the CNF must force the
     /// simulated output.
     fn assert_cnf_matches_simulation(n: &Netlist) {
-        use sttlock_netlist::graph::topo_order;
-        let order = topo_order(n);
+        use sttlock_netlist::CircuitView;
+        let view = CircuitView::new(n);
+        let order = view.topo_order();
         let eval = |assignment: &[bool]| -> Vec<bool> {
             let mut vals = vec![false; n.len()];
             for (k, &pi) in n.inputs().iter().enumerate() {
                 vals[pi.index()] = assignment[k];
             }
-            for &id in &order {
+            for &id in order {
                 let node = n.node(id);
                 let ins: Vec<bool> = node.fanin().iter().map(|f| vals[f.index()]).collect();
                 vals[id.index()] = match node {

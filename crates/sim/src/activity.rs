@@ -8,7 +8,7 @@
 
 use rand::Rng;
 
-use sttlock_netlist::{Netlist, NodeId};
+use sttlock_netlist::{CircuitView, Netlist, NodeId};
 
 use crate::bitpar::Simulator;
 use crate::error::SimError;
@@ -53,8 +53,19 @@ pub fn estimate_activity<R: Rng + ?Sized>(
     cycles: usize,
     rng: &mut R,
 ) -> Result<ActivityReport, SimError> {
+    estimate_activity_with(&CircuitView::new(netlist), cycles, rng)
+}
+
+/// [`estimate_activity`] over a shared [`CircuitView`], reusing its
+/// memoized evaluation order instead of recomputing it.
+pub fn estimate_activity_with<R: Rng + ?Sized>(
+    view: &CircuitView<'_>,
+    cycles: usize,
+    rng: &mut R,
+) -> Result<ActivityReport, SimError> {
     assert!(cycles > 0, "need at least one cycle");
-    let mut sim = Simulator::new(netlist)?;
+    let netlist = view.netlist();
+    let mut sim = Simulator::with_view(view)?;
     let n = netlist.len();
     let mut toggles = vec![0u64; n];
     let mut prev: Vec<u64> = vec![0; n];

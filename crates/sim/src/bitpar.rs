@@ -1,4 +1,6 @@
-use sttlock_netlist::{graph, Netlist, Node, NodeId};
+use std::sync::Arc;
+
+use sttlock_netlist::{CircuitView, Netlist, Node, NodeId};
 
 use crate::error::SimError;
 
@@ -11,7 +13,7 @@ use crate::error::SimError;
 #[derive(Debug, Clone)]
 pub struct Simulator<'a> {
     netlist: &'a Netlist,
-    order: Vec<NodeId>,
+    order: Arc<Vec<NodeId>>,
     /// Current net values, one word per node.
     values: Vec<u64>,
     /// Registered state for DFF nodes (indexed like `values`, unused
@@ -27,16 +29,52 @@ impl<'a> Simulator<'a> {
     /// Returns [`SimError::UnprogrammedLut`] if the netlist contains a
     /// redacted LUT — the two-valued engine needs every function defined.
     pub fn new(netlist: &'a Netlist) -> Result<Self, SimError> {
-        for (id, node) in netlist.iter() {
-            if let Node::Lut { config: None, .. } = node {
-                return Err(SimError::UnprogrammedLut {
-                    name: netlist.node_name(id).to_owned(),
-                });
-            }
+        Self::with_view(&CircuitView::new(netlist))
+    }
+
+    /// Prepares a simulator against a shared [`CircuitView`], reusing
+    /// its memoized topological order instead of recomputing one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnprogrammedLut`] if the netlist contains a
+    /// redacted LUT — the two-valued engine needs every function defined.
+    pub fn with_view(view: &CircuitView<'a>) -> Result<Self, SimError> {
+        let netlist = view.netlist();
+        if let Some(id) = netlist.first_unprogrammed_lut() {
+            return Err(SimError::UnprogrammedLut {
+                name: netlist.node_name(id).to_owned(),
+            });
         }
         Ok(Simulator {
             netlist,
-            order: graph::topo_order(netlist),
+            order: view.topo_order_arc(),
+            values: vec![0; netlist.len()],
+            state: vec![0; netlist.len()],
+        })
+    }
+
+    /// Prepares a simulator from an explicit topological order — for
+    /// callers holding many structure-identical netlist variants (e.g.
+    /// the attack's hypothesis candidates) that share one order.
+    ///
+    /// The order must be a valid topological order of `netlist`'s
+    /// combinational nodes, which holds for any netlist produced by
+    /// wiring-preserving edits of the netlist the order came from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnprogrammedLut`] if the netlist contains a
+    /// redacted LUT.
+    pub fn with_order(netlist: &'a Netlist, order: Arc<Vec<NodeId>>) -> Result<Self, SimError> {
+        if let Some(id) = netlist.first_unprogrammed_lut() {
+            return Err(SimError::UnprogrammedLut {
+                name: netlist.node_name(id).to_owned(),
+            });
+        }
+        Ok(Simulator {
+            netlist,
+            order,
             values: vec![0; netlist.len()],
             state: vec![0; netlist.len()],
         })
@@ -85,7 +123,7 @@ impl<'a> Simulator<'a> {
             }
         }
         let mut scratch: Vec<u64> = Vec::with_capacity(8);
-        for &id in &self.order {
+        for &id in self.order.iter() {
             let out = match self.netlist.node(id) {
                 Node::Gate { kind, fanin } => {
                     use sttlock_netlist::GateKind::*;

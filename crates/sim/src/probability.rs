@@ -9,7 +9,7 @@
 //! expensive, and cross-checks the dynamic estimate of
 //! [`activity`](crate::activity) in tests.
 
-use sttlock_netlist::{graph, GateKind, Netlist, Node, NodeId};
+use sttlock_netlist::{CircuitView, GateKind, Netlist, Node, NodeId};
 
 /// Static per-net probabilities.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,7 +51,14 @@ const EPSILON: f64 = 1e-6;
 /// the static engine is the one analysis that legitimately runs on the
 /// foundry view.
 pub fn signal_probabilities(netlist: &Netlist) -> ProbabilityReport {
-    let order = graph::topo_order(netlist);
+    signal_probabilities_with(&CircuitView::new(netlist))
+}
+
+/// [`signal_probabilities`] against a shared [`CircuitView`], reusing
+/// its memoized topological order.
+pub fn signal_probabilities_with(view: &CircuitView<'_>) -> ProbabilityReport {
+    let netlist = view.netlist();
+    let order = view.topo_order();
     let n = netlist.len();
     let mut p = vec![0.5f64; n];
     // Initialize non-combinational nodes.
@@ -68,7 +75,7 @@ pub fn signal_probabilities(netlist: &Netlist) -> ProbabilityReport {
     let mut converged = false;
     for iter in 0..MAX_ITERATIONS {
         iterations = iter + 1;
-        for &id in &order {
+        for &id in order {
             p[id.index()] = eval_probability(netlist, &p, id);
         }
         // Update flip-flop state probabilities from their D inputs.

@@ -9,7 +9,9 @@
 //! Values are encoded as (value, known) word pairs per lane: `known=0`
 //! means X; when `known=1`, `value` holds the binary value.
 
-use sttlock_netlist::{graph, GateKind, Netlist, Node, NodeId};
+use std::sync::Arc;
+
+use sttlock_netlist::{CircuitView, GateKind, Netlist, Node, NodeId};
 
 use crate::error::SimError;
 
@@ -72,7 +74,7 @@ pub struct PartialLut {
 #[derive(Debug, Clone)]
 pub struct TriSimulator<'a> {
     netlist: &'a Netlist,
-    order: Vec<NodeId>,
+    order: Arc<Vec<NodeId>>,
     values: Vec<TriWord>,
     state: Vec<TriWord>,
     partial: std::collections::HashMap<NodeId, PartialLut>,
@@ -81,9 +83,18 @@ pub struct TriSimulator<'a> {
 impl<'a> TriSimulator<'a> {
     /// Prepares a three-valued simulator. Redacted LUTs are legal here.
     pub fn new(netlist: &'a Netlist) -> Self {
+        Self::with_view(&CircuitView::new(netlist))
+    }
+
+    /// Prepares a three-valued simulator against a shared
+    /// [`CircuitView`], reusing its memoized topological order. The
+    /// attack loop evaluates many hypotheses per round over one working
+    /// netlist; sharing the view amortizes the order across all of them.
+    pub fn with_view(view: &CircuitView<'a>) -> Self {
+        let netlist = view.netlist();
         TriSimulator {
             netlist,
-            order: graph::topo_order(netlist),
+            order: view.topo_order_arc(),
             values: vec![TriWord::all_x(); netlist.len()],
             state: vec![TriWord::all_x(); netlist.len()],
             partial: std::collections::HashMap::new(),
@@ -140,7 +151,7 @@ impl<'a> TriSimulator<'a> {
                 _ => {}
             }
         }
-        for &id in &self.order {
+        for &id in self.order.iter() {
             let out = if let Some(f) = forced.iter().find(|f| f.node == id) {
                 TriWord::known(f.value)
             } else {

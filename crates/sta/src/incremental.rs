@@ -22,9 +22,10 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::thread;
 
-use sttlock_netlist::{graph, GateKind, Netlist, Node, NodeId};
+use sttlock_netlist::{CircuitView, GateKind, Netlist, Node, NodeId};
 use sttlock_techlib::Library;
 
 use crate::{node_delay, source_arrival, TimingAnalysis};
@@ -67,12 +68,14 @@ impl Ord for OrdF64 {
 pub struct IncrementalSta<'a> {
     netlist: &'a Netlist,
     lib: &'a Library,
-    /// Cached combinational topological order.
-    order: Vec<NodeId>,
+    /// Cached combinational topological order, shared with the
+    /// [`CircuitView`] it came from (and with engine clones).
+    order: Arc<Vec<NodeId>>,
     /// Node index → position in `order` (`usize::MAX` for non-comb).
     topo_pos: Vec<usize>,
-    /// Node index → combinational readers (propagation frontier).
-    comb_fanout: Vec<Vec<NodeId>>,
+    /// Node index → combinational readers (propagation frontier),
+    /// shared with the view and with engine clones.
+    comb_fanout: Arc<Vec<Vec<NodeId>>>,
     /// Current hypothetical per-node delay.
     delay: Vec<f64>,
     /// Current arrival times.
@@ -95,7 +98,15 @@ pub struct IncrementalSta<'a> {
 impl<'a> IncrementalSta<'a> {
     /// Builds the engine with a fresh full forward pass.
     pub fn new(netlist: &'a Netlist, lib: &'a Library) -> Self {
-        let mut engine = Self::skeleton(netlist, lib);
+        Self::with_view(&CircuitView::new(netlist), lib)
+    }
+
+    /// Builds the engine against a shared [`CircuitView`], consuming the
+    /// view's memoized topological order and combinational fan-out map
+    /// instead of constructing duplicates.
+    pub fn with_view(view: &CircuitView<'a>, lib: &'a Library) -> Self {
+        let netlist = view.netlist();
+        let mut engine = Self::skeleton(view, lib);
         for (id, node) in netlist.iter() {
             if !node.is_combinational() {
                 engine.arrival[id.index()] = source_arrival(netlist, lib, id);
@@ -122,29 +133,32 @@ impl<'a> IncrementalSta<'a> {
         lib: &'a Library,
         analysis: &TimingAnalysis,
     ) -> Self {
-        let mut engine = Self::skeleton(netlist, lib);
+        Self::from_analysis_with(&CircuitView::new(netlist), lib, analysis)
+    }
+
+    /// [`from_analysis`](IncrementalSta::from_analysis) against a shared
+    /// [`CircuitView`].
+    pub fn from_analysis_with(
+        view: &CircuitView<'a>,
+        lib: &'a Library,
+        analysis: &TimingAnalysis,
+    ) -> Self {
+        let mut engine = Self::skeleton(view, lib);
         engine.arrival.copy_from_slice(&analysis.arrival);
         engine.rebuild_endpoint_heap();
         engine
     }
 
     /// Shared construction: cached structure, delays, endpoint roster.
-    fn skeleton(netlist: &'a Netlist, lib: &'a Library) -> Self {
+    fn skeleton(view: &CircuitView<'a>, lib: &'a Library) -> Self {
+        let netlist = view.netlist();
         let n = netlist.len();
-        let order = graph::topo_order(netlist);
+        let order = view.topo_order_arc();
         let mut topo_pos = vec![usize::MAX; n];
         for (pos, &id) in order.iter().enumerate() {
             topo_pos[id.index()] = pos;
         }
-        let comb_fanout: Vec<Vec<NodeId>> = graph::fanout_map(netlist)
-            .into_iter()
-            .map(|readers| {
-                readers
-                    .into_iter()
-                    .filter(|&r| netlist.node(r).is_combinational())
-                    .collect()
-            })
-            .collect();
+        let comb_fanout = view.comb_fanout_arc();
         let delay: Vec<f64> = (0..n)
             .map(|i| node_delay(netlist, lib, NodeId::from_index(i)))
             .collect();

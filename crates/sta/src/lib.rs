@@ -41,7 +41,7 @@ pub mod incremental;
 
 pub use incremental::IncrementalSta;
 
-use sttlock_netlist::{graph, Netlist, Node, NodeId};
+use sttlock_netlist::{CircuitView, Netlist, Node, NodeId};
 use sttlock_techlib::Library;
 
 /// Result of a static timing analysis pass.
@@ -104,7 +104,14 @@ fn source_arrival(netlist: &Netlist, lib: &Library, id: NodeId) -> f64 {
 
 /// Runs static timing analysis over the whole netlist.
 pub fn analyze(netlist: &Netlist, lib: &Library) -> TimingAnalysis {
-    let order = graph::topo_order(netlist);
+    analyze_with(&CircuitView::new(netlist), lib)
+}
+
+/// [`analyze`] against a shared [`CircuitView`], reusing its memoized
+/// topological order. Produces bit-identical results.
+pub fn analyze_with(view: &CircuitView<'_>, lib: &Library) -> TimingAnalysis {
+    let netlist = view.netlist();
+    let order = view.topo_order();
     let n = netlist.len();
     let mut arrival = vec![0.0f64; n];
     for (id, node) in netlist.iter() {
@@ -112,7 +119,7 @@ pub fn analyze(netlist: &Netlist, lib: &Library) -> TimingAnalysis {
             arrival[id.index()] = source_arrival(netlist, lib, id);
         }
     }
-    for &id in &order {
+    for &id in order {
         let node = netlist.node(id);
         let input_arrival = node
             .fanin()
