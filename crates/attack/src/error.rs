@@ -12,6 +12,8 @@ use std::fmt;
 
 use sttlock_sim::SimError;
 
+use crate::sensitization::SensitizationOutcome;
+
 /// Why an attack could not run to completion.
 ///
 /// Simulation problems (unprogrammed oracle, arity mismatches) are
@@ -38,8 +40,26 @@ pub enum AttackError {
     Unsatisfiable,
     /// A sequential attack was configured with a zero unroll bound.
     ZeroFrames,
+    /// A configured test-clock or wall-clock budget ran out before the
+    /// attack converged. Not a hard failure: everything recovered before
+    /// the cutoff travels in `partial`, so campaigns can still record
+    /// the resolution ratio reached within the budget.
+    TimedOut {
+        /// The attack state at the moment the budget expired.
+        partial: Box<SensitizationOutcome>,
+    },
     /// The oracle could not be simulated.
     Sim(SimError),
+}
+
+impl AttackError {
+    /// The partial outcome carried by a budget expiry, if any.
+    pub fn partial_outcome(&self) -> Option<&SensitizationOutcome> {
+        match self {
+            AttackError::TimedOut { partial } => Some(partial),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for AttackError {
@@ -59,6 +79,14 @@ impl fmt::Display for AttackError {
             AttackError::ZeroFrames => {
                 write!(f, "sequential attack needs at least one unroll frame")
             }
+            AttackError::TimedOut { partial } => write!(
+                f,
+                "attack budget exhausted at resolution ratio {:.3} \
+                 ({} test clocks, {} SAT queries)",
+                partial.resolution_ratio(),
+                partial.test_clocks,
+                partial.sat_queries
+            ),
             AttackError::Sim(e) => write!(f, "oracle simulation failed: {e}"),
         }
     }

@@ -290,6 +290,82 @@ pub fn security_estimate_with(view: &CircuitView<'_>) -> SecurityEstimate {
     }
 }
 
+/// Security of a hybrid whose STT cells fail with per-row probability
+/// `p` and are *not* repaired.
+///
+/// A faulted row leaks for free: once the stored bit no longer carries
+/// the design house's choice, the attacker does not need to infer it,
+/// so the effective key material shrinks. We model this pessimistically
+/// (for the defender) by raising every *key-derived* factor to the
+/// surviving-row fraction `1 − p` while leaving the pure mechanics (the
+/// flip-flop depths `Dᵢ`, `D`) untouched:
+///
+/// * Equation 1 becomes `Σᵢ αᵢ^(1−p) · Dᵢ`,
+/// * Equation 2 becomes `Πᵢ (αᵢPᵢ)^(1−p) · Dᵢ`,
+/// * Equation 3 becomes `2^(I(1−p)) · P^(M(1−p)) · D`.
+///
+/// `p` is clamped to `[0, 1]`. At `p = 0` all three equal
+/// [`security_estimate`]; at `p = 1` they collapse to the pattern-cost
+/// floor. This is the figure the repair loop defends: a `recovered`
+/// verdict restores the `p = 0` numbers.
+pub fn security_under_faults(netlist: &Netlist, p: f64) -> SecurityEstimate {
+    let p = p.clamp(0.0, 1.0);
+    let survive = 1.0 - p;
+    let view = CircuitView::new(netlist);
+    let dist = ff_distance_to_output(netlist);
+    let luts = missing_gates(netlist);
+    if luts.is_empty() {
+        return SecurityEstimate {
+            n_indep: BigEffort::ONE,
+            n_dep: BigEffort::ONE,
+            n_bf: BigEffort::ONE,
+        };
+    }
+
+    // Equation 1 with αᵢ^(1−p): α ≤ 64, so the linear domain is safe.
+    let mut indep_total = 0.0f64;
+    for &id in &luts {
+        let fanin = netlist.node(id).fanin().len();
+        indep_total += alpha_for(fanin).powf(survive) * depth_of(&dist, id);
+    }
+    let n_indep = if indep_total <= 0.0 {
+        BigEffort::ONE
+    } else {
+        BigEffort::from_clocks(indep_total)
+    };
+
+    // Equation 2 with (αᵢPᵢ)^(1−p)·Dᵢ per factor, in the log domain.
+    let mut dep_log = 0.0f64;
+    for &id in &luts {
+        let fanin = netlist.node(id).fanin().len();
+        dep_log +=
+            survive * (alpha_for(fanin) * p_for(fanin)).log10() + depth_of(&dist, id).log10();
+    }
+    let n_dep = BigEffort::from_log10(dep_log);
+
+    // Equation 3 with the keyspace exponents I and M·log P scaled.
+    let cone = view.fanin_cone(&luts, true);
+    let accessible = cone
+        .iter()
+        .filter(|&&id| {
+            let node = netlist.node(id);
+            node.is_input() || node.is_dff()
+        })
+        .count() as f64;
+    let mut p_log_sum = 0.0f64;
+    for &id in &luts {
+        p_log_sum += p_for(netlist.node(id).fanin().len()).log10();
+    }
+    let d = dist.iter().flatten().copied().max().unwrap_or(0).max(1) as f64;
+    let n_bf = BigEffort::from_log10(survive * (accessible * 2f64.log10() + p_log_sum) + d.log10());
+
+    SecurityEstimate {
+        n_indep,
+        n_dep,
+        n_bf,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,5 +512,36 @@ mod tests {
         assert_eq!(n_indep(&n), BigEffort::ONE);
         assert_eq!(n_dep(&n), BigEffort::ONE);
         assert_eq!(n_bf(&n), BigEffort::ONE);
+    }
+
+    #[test]
+    fn faultless_estimate_matches_the_baseline() {
+        let n = pipeline(&["g0", "g1", "g2"]);
+        let base = security_estimate(&n);
+        let faulted = security_under_faults(&n, 0.0);
+        assert!((base.n_indep.log10() - faulted.n_indep.log10()).abs() < 1e-9);
+        assert!((base.n_dep.log10() - faulted.n_dep.log10()).abs() < 1e-9);
+        assert!((base.n_bf.log10() - faulted.n_bf.log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn security_decays_monotonically_with_fault_probability() {
+        let n = pipeline(&["g0", "g1", "g2"]);
+        let mut prev = security_under_faults(&n, 0.0);
+        for p in [0.1, 0.5, 0.9, 1.0] {
+            let s = security_under_faults(&n, p);
+            assert!(s.n_indep.log10() <= prev.n_indep.log10() + 1e-12, "p={p}");
+            assert!(s.n_dep.log10() <= prev.n_dep.log10() + 1e-12, "p={p}");
+            assert!(s.n_bf.log10() <= prev.n_bf.log10() + 1e-12, "p={p}");
+            prev = s;
+        }
+        // At p = 1 only the depth mechanics remain.
+        let floor = security_under_faults(&n, 1.0);
+        assert!(floor.n_bf.log10() <= 2f64.log10() + 1e-9);
+        // Out-of-range probabilities clamp instead of exploding.
+        assert_eq!(
+            security_under_faults(&n, 7.5).n_bf,
+            security_under_faults(&n, 1.0).n_bf
+        );
     }
 }

@@ -40,6 +40,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use rand::Rng;
 
@@ -71,6 +72,14 @@ pub struct SensitizationConfig {
     /// Whether to escalate to SAT-guided justification for the rows the
     /// random stage leaves unresolved.
     pub sat_justification: bool,
+    /// Test-clock budget: the attack stops with
+    /// [`AttackError::TimedOut`] once this many oracle clocks are spent
+    /// (`0` = unbounded). The partial result travels in the error.
+    pub max_test_clocks: u64,
+    /// Wall-clock budget in milliseconds, same semantics
+    /// (`0` = unbounded). Checked between patterns/SAT queries, so a
+    /// single long SAT call can overshoot slightly.
+    pub max_wall_ms: u64,
 }
 
 impl Default for SensitizationConfig {
@@ -78,7 +87,33 @@ impl Default for SensitizationConfig {
         SensitizationConfig {
             patterns_per_gate: 256,
             sat_justification: true,
+            max_test_clocks: 0,
+            max_wall_ms: 0,
         }
+    }
+}
+
+/// Step/deadline budget threaded through every attack stage.
+struct Budget {
+    max_clocks: u64,
+    deadline: Option<Instant>,
+}
+
+impl Budget {
+    fn new(cfg: &SensitizationConfig) -> Self {
+        Budget {
+            max_clocks: if cfg.max_test_clocks == 0 {
+                u64::MAX
+            } else {
+                cfg.max_test_clocks
+            },
+            deadline: (cfg.max_wall_ms > 0)
+                .then(|| Instant::now() + Duration::from_millis(cfg.max_wall_ms)),
+        }
+    }
+
+    fn exhausted(&self, spent_clocks: u64) -> bool {
+        spent_clocks >= self.max_clocks || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
 
@@ -194,6 +229,9 @@ struct AttackState<'a> {
 /// * [`AttackError::DesignMismatch`] if the two netlists have different
 ///   arena sizes — formerly an `assert_eq!` process abort, now a typed
 ///   failure so batch campaign cells degrade gracefully.
+/// * [`AttackError::TimedOut`] when a configured test-clock or
+///   wall-clock budget runs out; the partial outcome accumulated so far
+///   is carried inside the error.
 pub fn run<R: Rng + ?Sized>(
     redacted: &Netlist,
     oracle: &Netlist,
@@ -234,10 +272,12 @@ pub fn run<R: Rng + ?Sized>(
 
     let n_inputs = redacted.inputs().len();
     let n_state = redacted.iter().filter(|(_, n)| n.is_dff()).count();
+    let budget = Budget::new(cfg);
+    let mut out_of_budget = false;
 
     // Iterative refinement: each round re-attacks the unresolved gates
     // against a working netlist with every completed gate programmed in.
-    loop {
+    'rounds: loop {
         let mut working = redacted.clone();
         for (&id, g) in &state.gates {
             if let Some(t) = g.table() {
@@ -260,6 +300,10 @@ pub fn run<R: Rng + ?Sized>(
                 if state.gates[&g].is_complete() {
                     break;
                 }
+                if budget.exhausted(state.test_clocks) {
+                    out_of_budget = true;
+                    break 'rounds;
+                }
                 let inputs: Vec<u64> = (0..n_inputs).map(|_| rng.gen()).collect();
                 let st: Vec<u64> = (0..n_state).map(|_| rng.gen()).collect();
                 progress |= try_pattern(&view, &mut state, g, &inputs, &st)?;
@@ -277,6 +321,10 @@ pub fn run<R: Rng + ?Sized>(
                 for row in 0..(1usize << entry.fanin) {
                     if open & (1 << row) == 0 {
                         continue;
+                    }
+                    if budget.exhausted(state.test_clocks) {
+                        out_of_budget = true;
+                        break 'rounds;
                     }
                     state.sat_queries += 1;
                     match justify_row(&working, g, row) {
@@ -303,15 +351,21 @@ pub fn run<R: Rng + ?Sized>(
 
     // Escalation for a small stalled residue of mutually blinding gates
     // (Equation 2: exponential in the cluster size, so bounded).
-    if cfg.sat_justification {
-        joint_cluster_stage(redacted, &mut state)?;
+    if !out_of_budget && cfg.sat_justification {
+        out_of_budget = !joint_cluster_stage(redacted, &mut state, &budget)?;
     }
 
-    Ok(SensitizationOutcome {
+    let outcome = SensitizationOutcome {
         gates: state.gates,
         test_clocks: state.test_clocks,
         sat_queries: state.sat_queries,
-    })
+    };
+    if out_of_budget {
+        return Err(AttackError::TimedOut {
+            partial: Box::new(outcome),
+        });
+    }
+    Ok(outcome)
 }
 
 /// Joint resolution of a small residue of interdependent missing gates.
@@ -332,7 +386,14 @@ pub fn run<R: Rng + ?Sized>(
 /// Effort is `2^rows` hypotheses — the paper's Equation 2 — so the stage
 /// bails out beyond [`MAX_JOINT_GATES`] gates or [`MAX_JOINT_ROWS`] open
 /// rows, which keeps dependent selections out of reach by design.
-fn joint_cluster_stage(redacted: &Netlist, state: &mut AttackState<'_>) -> Result<(), SimError> {
+/// Returns `false` when the budget ran out mid-stage (results recorded
+/// so far are kept), `true` otherwise — including the size-bound
+/// bail-outs, which are a deliberate non-attempt rather than a timeout.
+fn joint_cluster_stage(
+    redacted: &Netlist,
+    state: &mut AttackState<'_>,
+    budget: &Budget,
+) -> Result<bool, SimError> {
     let mut incomplete: Vec<NodeId> = state
         .gates
         .iter()
@@ -341,7 +402,7 @@ fn joint_cluster_stage(redacted: &Netlist, state: &mut AttackState<'_>) -> Resul
         .collect();
     incomplete.sort_unstable();
     if incomplete.is_empty() || incomplete.len() > MAX_JOINT_GATES {
-        return Ok(());
+        return Ok(true);
     }
     // Flat list of (gate, row) coordinates for the open rows; bit `k` of
     // a hypothesis mask is the output of `slots[k]`.
@@ -356,7 +417,7 @@ fn joint_cluster_stage(redacted: &Netlist, state: &mut AttackState<'_>) -> Resul
         }
     }
     if slots.is_empty() || slots.len() as u32 > MAX_JOINT_ROWS {
-        return Ok(());
+        return Ok(true);
     }
 
     // Base netlist: everything already completed is programmed in. The
@@ -392,9 +453,15 @@ fn joint_cluster_stage(redacted: &Netlist, state: &mut AttackState<'_>) -> Resul
 
     let mut alive: Vec<usize> = (0..candidates.len()).collect();
     loop {
+        if budget.exhausted(state.test_clocks) {
+            return Ok(false);
+        }
         // Distinguish the first survivor from any other survivor.
         let mut pattern = None;
         for &c in alive.iter().skip(1) {
+            if budget.exhausted(state.test_clocks) {
+                return Ok(false);
+            }
             state.sat_queries += 1;
             if let Some(p) = distinguish(&candidates[alive[0]], &candidates[c]) {
                 pattern = Some(p);
@@ -423,7 +490,7 @@ fn joint_cluster_stage(redacted: &Netlist, state: &mut AttackState<'_>) -> Resul
         }
     }
     let Some(&witness) = alive.first() else {
-        return Ok(());
+        return Ok(true);
     };
 
     for (k, &(gate, row)) in slots.iter().enumerate() {
@@ -444,7 +511,7 @@ fn joint_cluster_stage(redacted: &Netlist, state: &mut AttackState<'_>) -> Resul
             entry.table_bits |= bit;
         }
     }
-    Ok(())
+    Ok(true)
 }
 
 /// SAT-solves for a single (input, state) frame on which two concrete
@@ -743,6 +810,7 @@ mod tests {
         let cfg = SensitizationConfig {
             patterns_per_gate: 64,
             sat_justification: false,
+            ..SensitizationConfig::default()
         };
         let out = run(&redacted, &programmed, &cfg, &mut rng).unwrap();
         // The interior gates g1/g2 are blinded: g1's output difference is
@@ -781,6 +849,7 @@ mod tests {
         let cfg = SensitizationConfig {
             patterns_per_gate: 0,
             sat_justification: true,
+            ..SensitizationConfig::default()
         };
         let out = run(&redacted, &programmed, &cfg, &mut rng).unwrap();
         assert!(out.is_full_break(), "ratio {}", out.resolution_ratio());
@@ -810,6 +879,7 @@ mod tests {
         let cfg = SensitizationConfig {
             patterns_per_gate: 8,
             sat_justification: true,
+            ..SensitizationConfig::default()
         };
         let out = run(&redacted, &programmed, &cfg, &mut rng).unwrap();
         assert!(out.is_full_break());
@@ -825,9 +895,61 @@ mod tests {
         let cfg = SensitizationConfig {
             patterns_per_gate: 4,
             sat_justification: true,
+            ..SensitizationConfig::default()
         };
         let out = run(&redacted, &programmed, &cfg, &mut rng).unwrap();
         assert!(out.test_clocks > 0);
+    }
+
+    #[test]
+    fn clock_budget_expires_with_a_partial_result() {
+        let (redacted, programmed) = independent_case();
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = SensitizationConfig {
+            // One 64-lane pattern fits; the second check trips the budget.
+            max_test_clocks: 64,
+            ..SensitizationConfig::default()
+        };
+        let err = run(&redacted, &programmed, &cfg, &mut rng).unwrap_err();
+        let AttackError::TimedOut { partial } = &err else {
+            panic!("expected TimedOut, got {err:?}");
+        };
+        assert!(partial.test_clocks >= 64);
+        assert_eq!(err.partial_outcome().unwrap().gates.len(), 2);
+        assert!(err.to_string().contains("budget exhausted"));
+    }
+
+    #[test]
+    fn wall_clock_budget_expires_immediately() {
+        let (redacted, programmed) = independent_case();
+        let mut rng = StdRng::seed_from_u64(12);
+        let cfg = SensitizationConfig {
+            max_wall_ms: 1,
+            ..SensitizationConfig::default()
+        };
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        // The deadline may or may not have passed before the first
+        // pattern; either a timeout or (on a very fast machine) success
+        // is acceptable, but never a panic or unbounded run.
+        match run(&redacted, &programmed, &cfg, &mut rng) {
+            Ok(out) => assert!(out.is_full_break()),
+            Err(AttackError::TimedOut { .. }) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_budgets_mean_unbounded() {
+        let (redacted, programmed) = independent_case();
+        let mut rng = StdRng::seed_from_u64(13);
+        let out = run(
+            &redacted,
+            &programmed,
+            &SensitizationConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(out.is_full_break());
     }
 
     #[test]

@@ -37,8 +37,9 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use sttlock_core::SelectionAlgorithm;
+use sttlock_fault::FaultModel;
 
-pub use record::{AttackMetrics, FlowMetrics, RunRecord, RunStatus};
+pub use record::{AttackMetrics, FlowMetrics, RepairMetrics, RunRecord, RunStatus};
 pub use runner::{execute, CampaignResult};
 
 /// One circuit of the grid.
@@ -165,12 +166,25 @@ pub struct CampaignSpec {
     pub attacks: Vec<AttackKind>,
     /// Selection-tunable overrides per cell (the ablation axis).
     pub overrides: Vec<SelectionOverrides>,
+    /// Fault models per cell (the robustness axis). The default single
+    /// no-op model adds no grid cells beyond the fault-free run and
+    /// leaves every record byte-identical to a campaign without the
+    /// axis.
+    pub faults: Vec<FaultModel>,
     /// Per-run wall-clock budget.
     pub timeout: Duration,
     /// Worker threads (0 = available parallelism).
     pub jobs: usize,
     /// Result-cache directory (`None` disables caching).
     pub cache_dir: Option<PathBuf>,
+    /// Append every freshly executed record to this JSONL journal as it
+    /// completes (`None` disables journaling). Lines are flushed per
+    /// record, so a killed campaign leaves a readable journal behind.
+    pub journal: Option<PathBuf>,
+    /// Replay the journal before executing: cells whose last journal
+    /// entry is `ok` are served from the journal verbatim; failed,
+    /// panicked, and timed-out cells re-execute.
+    pub resume: bool,
 }
 
 impl Default for CampaignSpec {
@@ -181,9 +195,12 @@ impl Default for CampaignSpec {
             seeds: vec![42],
             attacks: vec![AttackKind::None],
             overrides: vec![SelectionOverrides::default()],
+            faults: vec![FaultModel::default()],
             timeout: Duration::from_secs(600),
             jobs: 0,
             cache_dir: None,
+            journal: None,
+            resume: false,
         }
     }
 }
@@ -201,22 +218,32 @@ pub struct Cell {
     pub attack: AttackKind,
     /// Selection-tunable overrides for this cell.
     pub overrides: SelectionOverrides,
+    /// The fault model injected into this cell's programmed part.
+    pub fault: FaultModel,
 }
 
 impl CampaignSpec {
     /// Enumerates the grid in deterministic order: circuits outermost
-    /// (presentation order), then overrides, algorithms, seeds, attacks.
+    /// (presentation order), then overrides, algorithms, seeds, attacks,
+    /// faults innermost.
     ///
     /// Fault-injection circuits are *not* crossed with the full grid —
     /// each contributes exactly one cell (first algorithm, first seed,
-    /// no attack): one row per injected fault is enough to prove
-    /// isolation, and crossing them would only multiply noise rows.
+    /// no attack, no device faults): one row per injected fault is
+    /// enough to prove isolation, and crossing them would only multiply
+    /// noise rows.
     pub fn cells(&self) -> Vec<Cell> {
         let default_overrides = [SelectionOverrides::default()];
         let overrides: &[SelectionOverrides] = if self.overrides.is_empty() {
             &default_overrides
         } else {
             &self.overrides
+        };
+        let default_faults = [FaultModel::default()];
+        let faults: &[FaultModel] = if self.faults.is_empty() {
+            &default_faults
+        } else {
+            &self.faults
         };
         let mut out = Vec::new();
         for circuit in &self.circuits {
@@ -230,6 +257,7 @@ impl CampaignSpec {
                     seed: self.seeds.first().copied().unwrap_or(42),
                     attack: AttackKind::None,
                     overrides: overrides[0],
+                    fault: FaultModel::default(),
                 });
                 continue;
             }
@@ -237,13 +265,16 @@ impl CampaignSpec {
                 for &algorithm in &self.algorithms {
                     for &seed in &self.seeds {
                         for &attack in &self.attacks {
-                            out.push(Cell {
-                                circuit: circuit.clone(),
-                                algorithm,
-                                seed,
-                                attack,
-                                overrides: cell_overrides,
-                            });
+                            for &fault in faults {
+                                out.push(Cell {
+                                    circuit: circuit.clone(),
+                                    algorithm,
+                                    seed,
+                                    attack,
+                                    overrides: cell_overrides,
+                                    fault,
+                                });
+                            }
                         }
                     }
                 }
@@ -353,6 +384,22 @@ mod tests {
             .descriptor(),
             "indep_gates=3,paths=4"
         );
+    }
+
+    #[test]
+    fn the_fault_axis_multiplies_the_grid_but_not_injected_cells() {
+        let spec = CampaignSpec {
+            circuits: vec![CircuitSpec::Profile("s27".into()), CircuitSpec::InjectPanic],
+            algorithms: vec![SelectionAlgorithm::Independent],
+            faults: vec![FaultModel::default(), FaultModel::write_failures(0.05)],
+            ..CampaignSpec::default()
+        };
+        let cells = spec.cells();
+        // s27 × 2 fault models + one injected cell.
+        assert_eq!(cells.len(), 3);
+        assert!(cells[0].fault.is_noop());
+        assert_eq!(cells[1].fault.descriptor(), "wf=0.05");
+        assert!(cells[2].fault.is_noop(), "injected cells stay fault-free");
     }
 
     #[test]

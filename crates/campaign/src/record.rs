@@ -82,6 +82,33 @@ pub struct AttackMetrics {
     pub frames: u64,
 }
 
+/// Verify-and-repair metrics of one fault-injected run — the recovery
+/// table's columns for one (circuit, algorithm, seed, fault) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairMetrics {
+    /// Repair verdict tag (`recovered`, `degraded`, `unrecoverable`).
+    pub verdict: String,
+    /// Faults the injector actually placed in the device.
+    pub faults_injected: u64,
+    /// Individual test vectors evaluated by the repair loop.
+    pub vectors_run: u64,
+    /// Re-programming rounds executed.
+    pub retries: u64,
+    /// Individual LUT writes issued through the programming channel.
+    pub reprogram_attempts: u64,
+    /// Mismatching observation points before any repair.
+    pub initial_mismatches: u64,
+    /// Mismatching observation points left when the loop ended.
+    pub residual_mismatches: u64,
+    /// LUTs implicated at some point and clean at the end.
+    pub repaired_luts: u64,
+    /// LUTs still implicated when the loop gave up.
+    pub failed_luts: u64,
+    /// `log10` of the brute-force effort estimate under this fault
+    /// model (key bits leak through faulted rows, Section VI).
+    pub n_bf_faulted_log10: f64,
+}
+
 /// One executed campaign cell: descriptor, outcome, metrics, timing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
@@ -105,6 +132,10 @@ pub struct RunRecord {
     pub flow: Option<FlowMetrics>,
     /// Attack metrics, present when an attack ran and succeeded.
     pub attack_metrics: Option<AttackMetrics>,
+    /// Fault-model descriptor (`none` for fault-free cells).
+    pub fault: String,
+    /// Verify-and-repair metrics, present when a fault model ran.
+    pub repair: Option<RepairMetrics>,
     /// Wall-clock time of the cell, milliseconds.
     pub wall_ms: u64,
     /// Whether the record was served from the result cache.
@@ -130,18 +161,25 @@ impl RunRecord {
             status,
             flow: None,
             attack_metrics: None,
+            fault: "none".to_owned(),
+            repair: None,
             wall_ms: 0,
             cached: false,
         }
     }
 
     /// Serializes the record as one JSONL line (no trailing newline).
+    ///
+    /// The `fault` and `repair` keys appear only on fault-injected
+    /// cells, so fault-free campaign output stays byte-identical to the
+    /// engine before the fault axis existed — the acceptance bar for
+    /// the `p = 0` sweep.
     pub fn to_json(&self) -> Json {
         let error = match &self.status {
             RunStatus::Failed(m) | RunStatus::Panicked(m) => Json::Str(m.clone()),
             _ => Json::Null,
         };
-        Json::obj([
+        let mut pairs = vec![
             ("circuit", Json::from(self.circuit.as_str())),
             ("gates", Json::from(self.gates)),
             ("algorithm", Json::from(self.algorithm.as_str())),
@@ -156,9 +194,17 @@ impl RunRecord {
                 self.attack_metrics
                     .map_or(Json::Null, |m| attack_to_json(&m)),
             ),
-            ("wall_ms", Json::from(self.wall_ms)),
-            ("cached", Json::from(self.cached)),
-        ])
+        ];
+        if self.fault != "none" || self.repair.is_some() {
+            pairs.push(("fault", Json::from(self.fault.as_str())));
+            pairs.push((
+                "repair",
+                self.repair.as_ref().map_or(Json::Null, repair_to_json),
+            ));
+        }
+        pairs.push(("wall_ms", Json::from(self.wall_ms)));
+        pairs.push(("cached", Json::from(self.cached)));
+        Json::obj(pairs)
     }
 
     /// Decodes a record from its JSON form.
@@ -190,6 +236,12 @@ impl RunRecord {
             status,
             flow: v.get("flow").and_then(flow_from_json),
             attack_metrics: v.get("attack_metrics").and_then(attack_from_json),
+            fault: v
+                .get("fault")
+                .and_then(Json::as_str)
+                .unwrap_or("none")
+                .to_owned(),
+            repair: v.get("repair").and_then(repair_from_json),
             wall_ms: v.get("wall_ms")?.as_u64()?,
             cached: v.get("cached")?.as_bool()?,
         })
@@ -237,6 +289,36 @@ fn attack_to_json(m: &AttackMetrics) -> Json {
         ("learnt_clauses", Json::from(m.learnt_clauses)),
         ("frames", Json::from(m.frames)),
     ])
+}
+
+fn repair_to_json(m: &RepairMetrics) -> Json {
+    Json::obj([
+        ("verdict", Json::from(m.verdict.as_str())),
+        ("faults_injected", Json::from(m.faults_injected)),
+        ("vectors_run", Json::from(m.vectors_run)),
+        ("retries", Json::from(m.retries)),
+        ("reprogram_attempts", Json::from(m.reprogram_attempts)),
+        ("initial_mismatches", Json::from(m.initial_mismatches)),
+        ("residual_mismatches", Json::from(m.residual_mismatches)),
+        ("repaired_luts", Json::from(m.repaired_luts)),
+        ("failed_luts", Json::from(m.failed_luts)),
+        ("n_bf_faulted_log10", Json::from(m.n_bf_faulted_log10)),
+    ])
+}
+
+fn repair_from_json(v: &Json) -> Option<RepairMetrics> {
+    Some(RepairMetrics {
+        verdict: v.get("verdict")?.as_str()?.to_owned(),
+        faults_injected: v.get("faults_injected")?.as_u64()?,
+        vectors_run: v.get("vectors_run")?.as_u64()?,
+        retries: v.get("retries")?.as_u64()?,
+        reprogram_attempts: v.get("reprogram_attempts")?.as_u64()?,
+        initial_mismatches: v.get("initial_mismatches")?.as_u64()?,
+        residual_mismatches: v.get("residual_mismatches")?.as_u64()?,
+        repaired_luts: v.get("repaired_luts")?.as_u64()?,
+        failed_luts: v.get("failed_luts")?.as_u64()?,
+        n_bf_faulted_log10: v.get("n_bf_faulted_log10")?.as_f64()?,
+    })
 }
 
 fn attack_from_json(v: &Json) -> Option<AttackMetrics> {
@@ -288,6 +370,8 @@ mod tests {
                 learnt_clauses: 80,
                 ..AttackMetrics::default()
             }),
+            fault: "none".into(),
+            repair: None,
             wall_ms: 321,
             cached: false,
         }
@@ -323,5 +407,37 @@ mod tests {
         assert!(!line.contains('\n'));
         assert!(line.contains("\"status\":\"ok\""));
         assert!(line.contains("\"cached\":false"));
+    }
+
+    #[test]
+    fn fault_free_records_omit_the_fault_keys_entirely() {
+        let line = sample().to_json().to_string();
+        assert!(
+            !line.contains("\"fault\":") && !line.contains("\"repair\":"),
+            "p=0 records must be byte-identical to the pre-fault format: {line}"
+        );
+    }
+
+    #[test]
+    fn faulted_records_round_trip_with_repair_metrics() {
+        let mut r = sample();
+        r.fault = "wf=0.01".into();
+        r.repair = Some(RepairMetrics {
+            verdict: "recovered".into(),
+            faults_injected: 3,
+            vectors_run: 1024,
+            retries: 1,
+            reprogram_attempts: 2,
+            initial_mismatches: 4,
+            residual_mismatches: 0,
+            repaired_luts: 2,
+            failed_luts: 0,
+            n_bf_faulted_log10: 17.25,
+        });
+        let text = r.to_json().to_string();
+        assert!(text.contains("\"fault\":\"wf=0.01\""));
+        assert!(text.contains("\"verdict\":\"recovered\""));
+        let back = RunRecord::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
     }
 }

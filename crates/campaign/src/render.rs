@@ -249,6 +249,92 @@ pub fn render_attacks(records: &[RunRecord]) -> String {
     out
 }
 
+/// Renders the fault-sweep recovery table: one row per (circuit, fault
+/// model) group, aggregating repair verdicts across seeds and
+/// algorithms. Fault-free cells are skipped — this table is about the
+/// robustness axis only.
+pub fn render_faults(records: &[RunRecord]) -> String {
+    struct Group<'a> {
+        circuit: &'a str,
+        fault: &'a str,
+        cells: usize,
+        recovered: usize,
+        degraded: usize,
+        retries: u64,
+        writes: u64,
+        injected: u64,
+    }
+    let mut groups: Vec<Group<'_>> = Vec::new();
+    for r in records {
+        let Some(m) = &r.repair else { continue };
+        let group = match groups
+            .iter_mut()
+            .find(|g| g.circuit == r.circuit && g.fault == r.fault)
+        {
+            Some(g) => g,
+            None => {
+                groups.push(Group {
+                    circuit: &r.circuit,
+                    fault: &r.fault,
+                    cells: 0,
+                    recovered: 0,
+                    degraded: 0,
+                    retries: 0,
+                    writes: 0,
+                    injected: 0,
+                });
+                groups.last_mut().expect("just pushed")
+            }
+        };
+        group.cells += 1;
+        group.recovered += usize::from(m.verdict == "recovered");
+        group.degraded += usize::from(m.verdict == "degraded");
+        group.retries += m.retries;
+        group.writes += m.reprogram_attempts;
+        group.injected += m.faults_injected;
+    }
+
+    let mut out = String::new();
+    out.push_str("Fault sweep — verify-and-repair outcomes per circuit × fault model\n");
+    out.push_str(&format!(
+        "{:<14} | {:<18} | {:>5} | {:>6} | {:>9} | {:>8} | {:>8} | {:>7} | {:>7}\n",
+        "Circuit",
+        "Fault model",
+        "Cells",
+        "Recov",
+        "Recov %",
+        "Degraded",
+        "Unrecov",
+        "Retries",
+        "Writes"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(104)));
+    for g in &groups {
+        let unrecoverable = g.cells - g.recovered - g.degraded;
+        out.push_str(&format!(
+            "{:<14} | {:<18} | {:>5} | {:>6} | {:>8.1}% | {:>8} | {:>8} | {:>7.2} | {:>7.2}\n",
+            g.circuit,
+            g.fault,
+            g.cells,
+            g.recovered,
+            100.0 * g.recovered as f64 / g.cells as f64,
+            g.degraded,
+            unrecoverable,
+            g.retries as f64 / g.cells as f64,
+            g.writes as f64 / g.cells as f64,
+        ));
+    }
+    if groups.is_empty() {
+        out.push_str("(no fault-injected cells in this record set)\n");
+    } else {
+        out.push_str(
+            "\nRetries/Writes are per-cell means; a recovered row within the retry\n\
+             budget means the self-healing loop restored the intended bitstream.\n",
+        );
+    }
+    out
+}
+
 fn short_alg(display_name: &str) -> &str {
     for alg in SelectionAlgorithm::ALL {
         if alg.to_string() == display_name {
@@ -288,6 +374,8 @@ mod tests {
                 n_bf_log10: 219.783,
             }),
             attack_metrics: None,
+            fault: "none".into(),
+            repair: None,
             wall_ms: 2100,
             cached: false,
         }
@@ -360,6 +448,36 @@ mod tests {
         assert!(text.contains("yes"), "{text}");
         assert!(text.contains("345"), "{text}");
         assert!(text.contains("panicked"), "{text}");
+    }
+
+    #[test]
+    fn fault_table_aggregates_recovery_rates_per_group() {
+        use crate::record::RepairMetrics;
+        let repaired = |verdict: &str, retries: u64| RepairMetrics {
+            verdict: verdict.into(),
+            faults_injected: 2,
+            vectors_run: 576,
+            retries,
+            reprogram_attempts: retries * 2,
+            initial_mismatches: 1,
+            residual_mismatches: u64::from(verdict != "recovered"),
+            repaired_luts: 1,
+            failed_luts: 0,
+            n_bf_faulted_log10: 12.0,
+        };
+        let mut a = record("s27", SelectionAlgorithm::Independent, 5);
+        a.fault = "wf=0.01".into();
+        a.repair = Some(repaired("recovered", 1));
+        let mut b = a.clone();
+        b.seed = 43;
+        b.repair = Some(repaired("unrecoverable", 5));
+        let text = render_faults(&[a, b, record("s27", SelectionAlgorithm::Independent, 5)]);
+        assert!(text.contains("wf=0.01"), "{text}");
+        assert!(text.contains("50.0%"), "{text}");
+        assert!(!text.contains("none"), "fault-free cells are skipped");
+
+        let empty = render_faults(&[record("s27", SelectionAlgorithm::Independent, 5)]);
+        assert!(empty.contains("no fault-injected cells"), "{empty}");
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   process ends with the campaign.
 
 use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
 use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -26,15 +29,18 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use sttlock_attack::estimate;
 use sttlock_attack::sat_attack::{self, SatAttackConfig, SequentialAttackConfig};
 use sttlock_attack::sensitization::{self, SensitizationConfig};
 use sttlock_benchgen::{profiles, Profile};
-use sttlock_core::Flow;
+use sttlock_core::{verify_and_repair, Flow, FlowOutcome, RepairConfig};
+use sttlock_fault::FaultInjector;
 use sttlock_netlist::{bench_format, Netlist};
 use sttlock_techlib::Library;
 
 use crate::cache::{cell_key, Cache};
-use crate::record::{AttackMetrics, FlowMetrics, RunRecord, RunStatus};
+use crate::json::Json;
+use crate::record::{AttackMetrics, FlowMetrics, RepairMetrics, RunRecord, RunStatus};
 use crate::{circuit_seed, AttackKind, CampaignSpec, Cell, CircuitSpec};
 
 /// Shared generation pool: one immutable netlist per (circuit, seed),
@@ -81,6 +87,13 @@ impl CampaignResult {
 /// Failures never propagate out: every cell ends as a [`RunRecord`],
 /// and record order matches [`CampaignSpec::cells`] regardless of which
 /// worker finished first.
+///
+/// With [`CampaignSpec::journal`] set, every freshly executed record is
+/// appended (and flushed) to the journal the moment it completes; with
+/// [`CampaignSpec::resume`] additionally set, cells whose latest journal
+/// entry is `ok` are replayed from the journal verbatim instead of
+/// re-executing — crash recovery costs only the cells that were in
+/// flight or had failed when the previous campaign died.
 pub fn execute(spec: &CampaignSpec) -> CampaignResult {
     let start = Instant::now();
     let cells = spec.cells();
@@ -88,6 +101,24 @@ pub fn execute(spec: &CampaignSpec) -> CampaignResult {
         .cache_dir
         .as_ref()
         .and_then(|dir| Cache::open(dir.clone()));
+
+    let replay: HashMap<String, RunRecord> = match (&spec.journal, spec.resume) {
+        (Some(path), true) => load_journal(path),
+        _ => HashMap::new(),
+    };
+    let journal: Option<Mutex<fs::File>> = spec.journal.as_ref().and_then(|path| {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = fs::create_dir_all(parent);
+            }
+        }
+        fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(path)
+            .ok()
+            .map(Mutex::new)
+    });
 
     let workers = if spec.jobs > 0 {
         spec.jobs
@@ -105,7 +136,18 @@ pub fn execute(spec: &CampaignSpec) -> CampaignResult {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(cell) = cells.get(i) else { break };
-                let record = run_cell_isolated(cell, spec.timeout, cache.as_ref(), &pool);
+                let record = match replay.get(&cell_journal_key(cell)) {
+                    Some(done) if done.status.is_ok() => done.clone(),
+                    _ => {
+                        let r = run_cell_isolated(cell, spec.timeout, cache.as_ref(), &pool);
+                        if let Some(journal) = &journal {
+                            let mut file = journal.lock().expect("journal mutex poisoned");
+                            let _ = writeln!(file, "{}", r.to_json());
+                            let _ = file.flush();
+                        }
+                        r
+                    }
+                };
                 slots.lock().expect("result mutex poisoned")[i] = Some(record);
             });
         }
@@ -181,6 +223,66 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// The identity of a cell inside the resume journal. Built only from
+/// fields a [`RunRecord`] also carries, so a journal line can be matched
+/// back to its grid cell; the attack component is the short tag, which
+/// means two attacks differing only in their limits share an identity —
+/// grids that sweep attack limits should use separate journals.
+fn journal_key(
+    circuit: &str,
+    algorithm: &str,
+    seed: u64,
+    attack: &str,
+    config: &str,
+    fault: &str,
+) -> String {
+    format!("{circuit}|{algorithm}|{seed}|{attack}|{config}|{fault}")
+}
+
+fn cell_journal_key(cell: &Cell) -> String {
+    journal_key(
+        cell.circuit.name(),
+        &cell.algorithm.to_string(),
+        cell.seed,
+        cell.attack.tag(),
+        &cell.overrides.descriptor(),
+        &cell.fault.descriptor(),
+    )
+}
+
+/// Parses the journal, keeping the *last* entry per cell identity —
+/// a resumed campaign appends fresh results after the stale ones, so
+/// re-resuming from the same journal sees the newest outcome.
+/// Unparseable lines (a half-written line from a kill, stray text) are
+/// skipped rather than failing the resume.
+fn load_journal(path: &Path) -> HashMap<String, RunRecord> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return HashMap::new();
+    };
+    let mut out = HashMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(r) = Json::parse(line)
+            .ok()
+            .and_then(|v| RunRecord::from_json(&v))
+        {
+            let key = journal_key(
+                &r.circuit,
+                &r.algorithm,
+                r.seed,
+                &r.attack,
+                &r.config,
+                &r.fault,
+            );
+            out.insert(key, r);
+        }
+    }
+    out
+}
+
 /// Generates the circuit for a cell (the fault-injection cells fault
 /// here, inside the isolation boundary), serving repeats of the same
 /// (circuit, seed) pair from the shared pool.
@@ -243,8 +345,11 @@ fn run_cell(cell: &Cell, cache: Option<&Cache>, pool: &GenPool) -> RunRecord {
     };
 
     // The key covers the cell descriptor and the generated circuit text,
-    // so a generator change invalidates exactly the affected cells.
-    let descriptor = format!(
+    // so a generator change invalidates exactly the affected cells. The
+    // fault component joins only when the model can inject something:
+    // a no-op model must hit the same cache entries as a campaign with
+    // no fault axis at all.
+    let mut descriptor = format!(
         "{}|{}|{}|{}|{}",
         cell.circuit.name(),
         algorithm,
@@ -252,6 +357,10 @@ fn run_cell(cell: &Cell, cache: Option<&Cache>, pool: &GenPool) -> RunRecord {
         cell.attack.descriptor(),
         cell.overrides.descriptor()
     );
+    if !cell.fault.is_noop() {
+        descriptor.push('|');
+        descriptor.push_str(&cell.fault.descriptor());
+    }
     let key = cell_key(&descriptor, &bench_format::write(&netlist));
     if let Some(cache) = cache {
         if let Some(mut hit) = cache.lookup(key) {
@@ -284,6 +393,25 @@ fn run_cell(cell: &Cell, cache: Option<&Cache>, pool: &GenPool) -> RunRecord {
         n_bf_log10: report.security.n_bf.log10(),
     };
 
+    // The robustness leg: corrupt a clone of the programmed part, then
+    // run the self-healing verify-and-repair loop against the golden
+    // netlist, with the (still faulty) injector as the programming
+    // channel. The pristine hybrid stays untouched for the attack leg.
+    let repair = if cell.fault.is_noop() {
+        None
+    } else {
+        match run_fault(cell, &netlist, &outcome) {
+            Ok(m) => Some(m),
+            Err(message) => {
+                let mut r = fail(RunStatus::Failed(message));
+                r.flow = Some(flow_metrics);
+                r.gates = netlist.gate_count();
+                r.fault = cell.fault.descriptor();
+                return r;
+            }
+        }
+    };
+
     let attack_metrics = match run_attack(cell, &outcome.hybrid) {
         Ok(m) => m,
         Err(message) => {
@@ -292,6 +420,8 @@ fn run_cell(cell: &Cell, cache: Option<&Cache>, pool: &GenPool) -> RunRecord {
             // row so a broken attack does not erase the overhead data.
             r.flow = Some(flow_metrics);
             r.gates = netlist.gate_count();
+            r.fault = cell.fault.descriptor();
+            r.repair = repair;
             return r;
         }
     };
@@ -306,6 +436,8 @@ fn run_cell(cell: &Cell, cache: Option<&Cache>, pool: &GenPool) -> RunRecord {
         status: RunStatus::Ok,
         flow: Some(flow_metrics),
         attack_metrics,
+        fault: cell.fault.descriptor(),
+        repair,
         wall_ms: start.elapsed().as_millis() as u64,
         cached: false,
     };
@@ -313,6 +445,46 @@ fn run_cell(cell: &Cell, cache: Option<&Cache>, pool: &GenPool) -> RunRecord {
         cache.store(key, &record);
     }
     record
+}
+
+/// Runs the cell's fault model: clones the programmed device, corrupts
+/// it with a deterministic [`FaultInjector`], and drives the
+/// verify-and-repair loop with that same injector as the programming
+/// channel (so re-programming retries can themselves fail, and stuck
+/// rows stay stuck). The fault seed derives from the circuit-generation
+/// stream so every (circuit, seed, model) cell is reproducible in
+/// isolation.
+fn run_fault(
+    cell: &Cell,
+    golden: &Netlist,
+    outcome: &FlowOutcome,
+) -> Result<RepairMetrics, String> {
+    let mut device = outcome.overlay.clone();
+    let fault_seed = circuit_seed(cell.seed, cell.circuit.name()) ^ 0xFA17_5EED;
+    let mut injector = FaultInjector::new(cell.fault, fault_seed);
+    let injected = injector.corrupt(&mut device);
+    let report = verify_and_repair(
+        golden,
+        &mut device,
+        &outcome.bitstream,
+        &mut injector,
+        &RepairConfig::default(),
+        fault_seed,
+    )
+    .map_err(|e| format!("repair failed: {e}"))?;
+    let faulted = estimate::security_under_faults(&outcome.hybrid, cell.fault.row_fault_p());
+    Ok(RepairMetrics {
+        verdict: report.verdict.tag().to_owned(),
+        faults_injected: injected.len() as u64,
+        vectors_run: report.vectors_run,
+        retries: report.retries,
+        reprogram_attempts: report.reprogram_attempts,
+        initial_mismatches: report.initial_mismatches as u64,
+        residual_mismatches: report.residual_mismatches as u64,
+        repaired_luts: report.repaired_luts.len() as u64,
+        failed_luts: report.failed_luts.len() as u64,
+        n_bf_faulted_log10: faulted.n_bf.log10(),
+    })
 }
 
 /// Runs the cell's attack against the (foundry view, programmed part)
@@ -500,6 +672,110 @@ mod tests {
         assert_eq!(seq.frames, 3);
         let sens = result.records[2].attack_metrics.unwrap();
         assert!(sens.test_clocks > 0);
+    }
+
+    #[test]
+    fn fault_cells_run_the_repair_loop_and_record_metrics() {
+        let spec = CampaignSpec {
+            faults: vec![sttlock_fault::FaultModel::write_failures(0.05)],
+            ..quick_spec(vec![small("faulted")])
+        };
+        let result = execute(&spec);
+        assert_eq!(result.ok_count(), 1);
+        let r = &result.records[0];
+        assert_eq!(r.fault, "wf=0.05");
+        let m = r.repair.as_ref().expect("fault cells carry repair metrics");
+        assert_eq!(m.verdict, "recovered", "write failures are repairable");
+        assert!(
+            m.faults_injected > 0,
+            "wf=0.05 must corrupt at least one row of this hybrid"
+        );
+        assert!(m.vectors_run > 0);
+        let flow = r.flow.expect("flow metrics still present");
+        assert!(
+            m.n_bf_faulted_log10 <= flow.n_bf_log10,
+            "faults can only leak key bits, never add them"
+        );
+    }
+
+    #[test]
+    fn a_p0_fault_sweep_is_byte_identical_to_the_fault_free_path() {
+        let fault_free = CampaignSpec {
+            jobs: 1,
+            ..quick_spec(vec![small("p0")])
+        };
+        let p0_sweep = CampaignSpec {
+            faults: vec![sttlock_fault::FaultModel::write_failures(0.0)],
+            ..fault_free.clone()
+        };
+        let zeroed = |spec: &CampaignSpec| {
+            let mut result = execute(spec);
+            for r in &mut result.records {
+                // Blank the two wall-clock measurements; everything else
+                // must match bit for bit.
+                r.wall_ms = 0;
+                if let Some(flow) = &mut r.flow {
+                    flow.selection_ms = 0.0;
+                }
+            }
+            result.to_jsonl()
+        };
+        assert_eq!(zeroed(&fault_free), zeroed(&p0_sweep));
+        let line = zeroed(&p0_sweep);
+        assert!(
+            !line.contains("\"fault\":"),
+            "no fault keys may leak into p=0 records: {line}"
+        );
+    }
+
+    #[test]
+    fn resume_replays_ok_cells_and_reruns_failures() {
+        let dir = std::env::temp_dir()
+            .join("sttlock-campaign-runner-tests")
+            .join(format!("{}-resume", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = dir.join("journal.jsonl");
+        let spec = CampaignSpec {
+            journal: Some(journal.clone()),
+            ..quick_spec(vec![
+                small("resume-a"),
+                CircuitSpec::Profile("s999999".into()),
+                small("resume-b"),
+            ])
+        };
+        let first = execute(&spec);
+        assert_eq!(first.ok_count(), 2);
+        let journaled = std::fs::read_to_string(&journal).unwrap();
+        assert_eq!(journaled.lines().count(), 3, "one line per executed cell");
+
+        // Stamp the journaled ok records with a sentinel wall time; a
+        // resumed campaign must serve them verbatim from the journal.
+        let stamped: String = journaled
+            .lines()
+            .map(|line| {
+                let mut r = RunRecord::from_json(&Json::parse(line).unwrap()).unwrap();
+                if r.status.is_ok() {
+                    r.wall_ms = 999_999;
+                }
+                format!("{}\n", r.to_json())
+            })
+            .collect();
+        std::fs::write(&journal, &stamped).unwrap();
+
+        let resumed = execute(&CampaignSpec {
+            resume: true,
+            ..spec
+        });
+        assert_eq!(resumed.records.len(), 3);
+        assert_eq!(resumed.records[0].wall_ms, 999_999, "replayed, not re-run");
+        assert_eq!(resumed.records[2].wall_ms, 999_999, "replayed, not re-run");
+        assert!(
+            matches!(&resumed.records[1].status, RunStatus::Failed(m) if m.contains("s999999")),
+            "the failed cell re-executes"
+        );
+        // Only the re-executed cell appended to the journal.
+        let after = std::fs::read_to_string(&journal).unwrap();
+        assert_eq!(after.lines().count(), 4);
     }
 
     #[test]

@@ -1,16 +1,22 @@
+//! The end-to-end design flow ([`Flow`]) and the post-fabrication
+//! verify-and-repair loop ([`verify_and_repair`]).
+
+use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use sttlock_attack::estimate::security_estimate;
-use sttlock_netlist::{CircuitView, Netlist};
+use sttlock_fault::ProgrammingChannel;
+use sttlock_netlist::{CircuitView, HybridOverlay, Netlist, NodeId, TruthTable};
 use sttlock_power::{analyze_area, analyze_power, OverheadReport};
+use sttlock_sat::equiv::{check_equivalence, EquivResult};
 use sttlock_sim::activity::estimate_activity_with;
-use sttlock_sim::SimError;
+use sttlock_sim::{SimError, Simulator};
 use sttlock_sta::{analyze, analyze_with, performance_degradation_pct};
 use sttlock_techlib::Library;
 
@@ -28,6 +34,10 @@ pub enum FlowError {
     /// The selection produced no replaceable gate — the circuit is too
     /// small or offers no usable I/O path.
     NothingSelected,
+    /// The verify-and-repair loop could not even compare the device
+    /// against its golden model (interface mismatch, unprogrammed LUT in
+    /// the reference, inconsistent equivalence witness).
+    Verification(String),
 }
 
 impl fmt::Display for FlowError {
@@ -37,6 +47,7 @@ impl fmt::Display for FlowError {
             FlowError::NothingSelected => {
                 write!(f, "selection produced no replaceable gate")
             }
+            FlowError::Verification(what) => write!(f, "verification impossible: {what}"),
         }
     }
 }
@@ -45,7 +56,7 @@ impl Error for FlowError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             FlowError::Simulation(e) => Some(e),
-            FlowError::NothingSelected => None,
+            _ => None,
         }
     }
 }
@@ -61,6 +72,11 @@ impl From<SimError> for FlowError {
 pub struct FlowOutcome {
     /// The programmed hybrid netlist (design-house view).
     pub hybrid: Netlist,
+    /// The same hybrid as a copy-on-write overlay over the shared golden
+    /// base — the natural *device* handle for fault injection and
+    /// [`verify_and_repair`], since cone queries on the golden
+    /// [`CircuitView`] stay valid for it.
+    pub overlay: HybridOverlay,
     /// The LUT programming bitstream — keep it away from the foundry.
     pub bitstream: Vec<(sttlock_netlist::NodeId, sttlock_netlist::TruthTable)>,
     /// Overheads, security estimates and selection CPU time.
@@ -168,30 +184,369 @@ impl Flow {
         // Replacement and hybrid analyses. The activity report indexes by
         // arena position, which replacement preserves; LUT power ignores
         // activity anyway (it is content- and activity-independent).
-        let replacement = replace::apply_overlay(base.clone(), &selection).into_replacement();
-        let hybrid_timing = analyze(&replacement.hybrid, &self.lib);
-        let hybrid_power = analyze_power(&replacement.hybrid, &self.lib, &activity);
-        let hybrid_area = analyze_area(&replacement.hybrid, &self.lib);
+        let replaced = replace::apply_overlay(base.clone(), &selection);
+        let hybrid = replaced.overlay.materialize();
+        let hybrid_timing = analyze(&hybrid, &self.lib);
+        let hybrid_power = analyze_power(&hybrid, &self.lib, &activity);
+        let hybrid_area = analyze_area(&hybrid, &self.lib);
 
         let overhead = OverheadReport::between(&base_power, base_area, &hybrid_power, hybrid_area);
-        let security = security_estimate(&replacement.hybrid);
+        let security = security_estimate(&hybrid);
 
         let report = FlowReport {
             performance_degradation_pct: performance_degradation_pct(&base_timing, &hybrid_timing),
             power_overhead_pct: overhead.power_pct,
             leakage_overhead_pct: overhead.leakage_pct,
             area_overhead_pct: overhead.area_pct,
-            stt_count: replacement.hybrid.lut_count(),
+            stt_count: hybrid.lut_count(),
             selection_time,
             security,
         };
         Ok(FlowOutcome {
-            hybrid: replacement.hybrid,
-            bitstream: replacement.bitstream,
+            hybrid,
+            overlay: replaced.overlay,
+            bitstream: replaced.bitstream,
             report,
             selection,
         })
     }
+}
+
+/// Tunables of the [`verify_and_repair`] loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairConfig {
+    /// 64-lane random verification frames per round.
+    pub random_batches: usize,
+    /// Re-programming rounds after the initial verify — the retry
+    /// budget. `0` means verify only, never repair.
+    pub max_retries: usize,
+    /// Base of the exponential backoff between re-programming rounds:
+    /// round `r` sleeps `backoff_base * 2^r`. The default is zero (no
+    /// sleeping), which is what tests and campaigns want; a real
+    /// programmer would set the device's write-recovery time.
+    pub backoff_base: Duration,
+    /// Close a clean random verify with a SAT equivalence proof. When a
+    /// counterexample exists it is replayed as a targeted vector, so
+    /// faults too subtle for random patterns still get localized.
+    pub sat_proof: bool,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            random_batches: 8,
+            max_retries: 5,
+            backoff_base: Duration::ZERO,
+            sat_proof: true,
+        }
+    }
+}
+
+/// Overall outcome of a [`verify_and_repair`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairVerdict {
+    /// The device matches the golden model (SAT-proven when
+    /// [`RepairConfig::sat_proof`] is set, else over the sampled
+    /// vectors).
+    Recovered,
+    /// Mismatches remain after the retry budget, but re-programming
+    /// reduced them — the part works partially.
+    Degraded,
+    /// Mismatches remain and re-programming did not help (or the fault
+    /// sits outside the programmable bitstream).
+    Unrecoverable,
+}
+
+impl RepairVerdict {
+    /// Stable lowercase tag for records and tables.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RepairVerdict::Recovered => "recovered",
+            RepairVerdict::Degraded => "degraded",
+            RepairVerdict::Unrecoverable => "unrecoverable",
+        }
+    }
+}
+
+impl fmt::Display for RepairVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Structured result of [`verify_and_repair`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairReport {
+    /// What the loop concluded about the device.
+    pub verdict: RepairVerdict,
+    /// Individual test vectors evaluated (64 per bit-parallel frame).
+    pub vectors_run: u64,
+    /// Re-programming rounds that were actually executed (0 when the
+    /// first verify was already clean).
+    pub retries: u64,
+    /// Individual LUT writes issued through the programming channel.
+    pub reprogram_attempts: u64,
+    /// Mismatching observation points of the first verify round.
+    pub initial_mismatches: usize,
+    /// Mismatching observation points still present at the end.
+    pub residual_mismatches: usize,
+    /// LUTs that were implicated at some point and verified clean at the
+    /// end, by name.
+    pub repaired_luts: Vec<String>,
+    /// LUTs still implicated when the loop gave up, by name.
+    pub failed_luts: Vec<String>,
+}
+
+impl RepairReport {
+    /// Whether the device left the loop fully functional.
+    pub fn is_recovered(&self) -> bool {
+        self.verdict == RepairVerdict::Recovered
+    }
+}
+
+/// Verifies a (possibly faulted) programmed hybrid against its golden
+/// model and tries to repair it by re-programming implicated LUTs.
+///
+/// `golden` is the original pure-CMOS netlist the hybrid was derived
+/// from — same arena, same wiring, so one [`CircuitView`] of it answers
+/// cone queries for both designs. `device` is the fabricated part as a
+/// copy-on-write overlay; `bitstream` is the intended LUT contents; all
+/// writes go through `channel`, which models the STT programming
+/// interface (pass a faulty channel to exercise the loop, or
+/// [`PerfectChannel`](sttlock_fault::PerfectChannel) for an ideal one).
+///
+/// Each round runs bit-parallel differential simulation over fresh
+/// random full-scan frames plus every accumulated targeted vector; a
+/// clean round is (optionally) closed with a SAT equivalence proof whose
+/// counterexample, if any, becomes a new targeted vector. Mismatching
+/// observation points are localized to bitstream LUTs through fan-out
+/// cone queries, and each implicated LUT is re-written through the
+/// channel with exponential backoff between rounds. The loop degrades
+/// gracefully: it returns a [`RepairReport`] with a
+/// [`Degraded`](RepairVerdict::Degraded) or
+/// [`Unrecoverable`](RepairVerdict::Unrecoverable) verdict instead of
+/// panicking or retrying forever.
+///
+/// # Errors
+///
+/// Returns [`FlowError::Verification`] when the comparison itself is
+/// impossible (interface mismatch, redacted LUT in the device) and
+/// [`FlowError::Simulation`] when a netlist cannot be simulated.
+pub fn verify_and_repair(
+    golden: &Netlist,
+    device: &mut HybridOverlay,
+    bitstream: &[(NodeId, TruthTable)],
+    channel: &mut dyn ProgrammingChannel,
+    cfg: &RepairConfig,
+    seed: u64,
+) -> Result<RepairReport, FlowError> {
+    let base = Arc::clone(device.base());
+    if golden.inputs().len() != base.inputs().len()
+        || golden.outputs().len() != base.outputs().len()
+    {
+        return Err(FlowError::Verification(
+            "golden model and device disagree on their I/O interface".to_owned(),
+        ));
+    }
+
+    let view = CircuitView::new(golden);
+    let order = view.topo_order_arc();
+    let mut golden_sim = Simulator::with_order(golden, Arc::clone(&order))
+        .map_err(|e| FlowError::Verification(format!("golden model is not simulatable: {e}")))?;
+    let n_inputs = golden.inputs().len();
+    let n_state = golden_sim.dff_ids().len();
+
+    // Combinational fan-out cone of each bitstream LUT, computed lazily
+    // and cached across rounds (wiring never changes).
+    let mut cones: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+
+    let intended: BTreeMap<NodeId, TruthTable> = bitstream.iter().copied().collect();
+    let points = observation_points(golden);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5E1F_4EA1);
+    let mut targeted: Vec<(Vec<u64>, Vec<u64>)> = Vec::new();
+    let mut ever_suspected: BTreeSet<NodeId> = BTreeSet::new();
+    let mut vectors_run = 0u64;
+    let mut reprogram_attempts = 0u64;
+    let mut initial_mismatches: Option<usize> = None;
+    let mut last_suspects: Vec<NodeId> = Vec::new();
+    let mut last_mismatches = 0usize;
+
+    for round in 0..=cfg.max_retries {
+        let materialized = device.materialize();
+        let mut device_sim = Simulator::with_order(&materialized, Arc::clone(&order))
+            .map_err(|e| FlowError::Verification(format!("device is not simulatable: {e}")))?;
+
+        // Differential simulation: fresh random frames plus every
+        // targeted vector accumulated so far. `failing` collects the
+        // observation-point nodes that disagreed in any lane.
+        let mut failing: BTreeSet<NodeId> = BTreeSet::new();
+        let mut frames: Vec<(Vec<u64>, Vec<u64>)> = targeted.clone();
+        for _ in 0..cfg.random_batches {
+            let ins: Vec<u64> = (0..n_inputs).map(|_| rng.gen()).collect();
+            let st: Vec<u64> = (0..n_state).map(|_| rng.gen()).collect();
+            frames.push((ins, st));
+        }
+        for (ins, st) in &frames {
+            diff_frame(
+                &mut golden_sim,
+                &mut device_sim,
+                &points,
+                ins,
+                st,
+                &mut failing,
+            )?;
+            vectors_run += 64;
+        }
+
+        if failing.is_empty() && cfg.sat_proof {
+            // Random patterns saw nothing; ask the SAT engine for a
+            // counterexample frame before declaring victory.
+            match check_equivalence(golden, &materialized) {
+                Ok(EquivResult::Equivalent) => {}
+                Ok(EquivResult::Different { inputs, state }) => {
+                    let ins: Vec<u64> = inputs
+                        .iter()
+                        .map(|&b| if b { u64::MAX } else { 0 })
+                        .collect();
+                    let st: Vec<u64> = state
+                        .iter()
+                        .map(|&b| if b { u64::MAX } else { 0 })
+                        .collect();
+                    diff_frame(
+                        &mut golden_sim,
+                        &mut device_sim,
+                        &points,
+                        &ins,
+                        &st,
+                        &mut failing,
+                    )?;
+                    vectors_run += 64;
+                    if failing.is_empty() {
+                        return Err(FlowError::Verification(
+                            "equivalence witness does not distinguish the designs".to_owned(),
+                        ));
+                    }
+                    targeted.push((ins, st));
+                }
+                Err(e) => return Err(FlowError::Verification(e.to_string())),
+            }
+        }
+
+        let mismatches = failing.len();
+        if initial_mismatches.is_none() {
+            initial_mismatches = Some(mismatches);
+        }
+        last_mismatches = mismatches;
+
+        if failing.is_empty() {
+            return Ok(RepairReport {
+                verdict: RepairVerdict::Recovered,
+                vectors_run,
+                retries: round as u64,
+                reprogram_attempts,
+                initial_mismatches: initial_mismatches.unwrap_or(0),
+                residual_mismatches: 0,
+                repaired_luts: names_of(golden, ever_suspected.iter().copied()),
+                failed_luts: Vec::new(),
+            });
+        }
+
+        // Localization: a bitstream LUT is suspect when any failing
+        // observation point lies in its combinational fan-out cone.
+        let suspects: Vec<NodeId> = bitstream
+            .iter()
+            .map(|&(id, _)| id)
+            .filter(|&id| {
+                let cone = cones
+                    .entry(id)
+                    .or_insert_with(|| view.fanout_cone(&[id], false));
+                failing.iter().any(|f| cone.binary_search(f).is_ok())
+            })
+            .collect();
+        ever_suspected.extend(suspects.iter().copied());
+        last_suspects = suspects.clone();
+
+        if suspects.is_empty() || round == cfg.max_retries {
+            break;
+        }
+
+        // Re-program every suspect through the channel, with exponential
+        // backoff before each retry round.
+        let backoff = cfg.backoff_base * 2u32.saturating_pow(round as u32);
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        for &id in &suspects {
+            let Some(&table) = intended.get(&id) else {
+                continue;
+            };
+            let stored = channel.write(id, table);
+            device.set_lut_config(id, stored);
+            reprogram_attempts += 1;
+        }
+    }
+
+    let initial = initial_mismatches.unwrap_or(0);
+    let verdict = if last_mismatches < initial && !last_suspects.is_empty() {
+        RepairVerdict::Degraded
+    } else {
+        RepairVerdict::Unrecoverable
+    };
+    let failed: BTreeSet<NodeId> = last_suspects.iter().copied().collect();
+    Ok(RepairReport {
+        verdict,
+        vectors_run,
+        retries: cfg.max_retries as u64,
+        reprogram_attempts,
+        initial_mismatches: initial,
+        residual_mismatches: last_mismatches,
+        repaired_luts: names_of(golden, ever_suspected.difference(&failed).copied()),
+        failed_luts: names_of(golden, failed.iter().copied()),
+    })
+}
+
+/// Evaluates one full-scan frame on both designs and records every
+/// observation-point node whose 64-lane words disagree.
+fn diff_frame(
+    golden: &mut Simulator<'_>,
+    device: &mut Simulator<'_>,
+    points: &[NodeId],
+    inputs: &[u64],
+    state: &[u64],
+    failing: &mut BTreeSet<NodeId>,
+) -> Result<(), FlowError> {
+    golden.eval_frame(inputs, state)?;
+    device.eval_frame(inputs, state)?;
+    let a = golden.observation();
+    let b = device.observation();
+    if a.len() != b.len() || a.len() != points.len() {
+        return Err(FlowError::Verification(
+            "observation vectors differ in length".to_owned(),
+        ));
+    }
+    for (i, &point) in points.iter().enumerate() {
+        if a[i] != b[i] {
+            failing.insert(point);
+        }
+    }
+    Ok(())
+}
+
+/// The node observed at each index of [`Simulator::observation`]:
+/// primary-output drivers, then flip-flop D drivers (arena order).
+fn observation_points(netlist: &Netlist) -> Vec<NodeId> {
+    let mut points: Vec<NodeId> = netlist.outputs().to_vec();
+    for (_, node) in netlist.iter() {
+        if let sttlock_netlist::Node::Dff { d } = node {
+            points.push(*d);
+        }
+    }
+    points
+}
+
+/// Names for a set of node ids, sorted by id.
+fn names_of(netlist: &Netlist, ids: impl Iterator<Item = NodeId>) -> Vec<String> {
+    ids.map(|id| netlist.node_name(id).to_owned()).collect()
 }
 
 #[cfg(test)]
@@ -269,6 +624,121 @@ mod tests {
             .unwrap();
         assert_eq!(a.hybrid, b.hybrid);
         assert_eq!(a.bitstream, b.bitstream);
+    }
+
+    #[test]
+    fn unfaulted_device_verifies_clean_without_retries() {
+        let n = circuit();
+        let flow = Flow::new(Library::predictive_90nm());
+        let out = flow
+            .run(&n, SelectionAlgorithm::ParametricAware, 9)
+            .unwrap();
+        let mut device = out.overlay.clone();
+        let mut channel = sttlock_fault::PerfectChannel;
+        let report = verify_and_repair(
+            &n,
+            &mut device,
+            &out.bitstream,
+            &mut channel,
+            &RepairConfig::default(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(report.verdict, RepairVerdict::Recovered);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.reprogram_attempts, 0);
+        assert_eq!(report.initial_mismatches, 0);
+        assert_eq!(report.residual_mismatches, 0);
+        assert!(report.vectors_run > 0);
+        assert!(report.repaired_luts.is_empty());
+        assert!(report.failed_luts.is_empty());
+    }
+
+    #[test]
+    fn single_row_fault_is_repaired_through_a_perfect_channel() {
+        let n = circuit();
+        let flow = Flow::new(Library::predictive_90nm());
+        let out = flow
+            .run(&n, SelectionAlgorithm::ParametricAware, 9)
+            .unwrap();
+        let (victim, table) = out.bitstream[0];
+        let mut device = out.overlay.clone();
+        // Flip one stored row of the victim LUT.
+        device.set_lut_config(
+            victim,
+            sttlock_netlist::TruthTable::new(table.inputs(), table.bits() ^ 1),
+        );
+        let mut channel = sttlock_fault::PerfectChannel;
+        let report = verify_and_repair(
+            &n,
+            &mut device,
+            &out.bitstream,
+            &mut channel,
+            &RepairConfig::default(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(report.verdict, RepairVerdict::Recovered, "{report:?}");
+        assert!(report.retries >= 1);
+        assert!(report.reprogram_attempts >= 1);
+        assert!(report.initial_mismatches > 0);
+        assert_eq!(report.residual_mismatches, 0);
+        assert!(report
+            .repaired_luts
+            .contains(&n.node_name(victim).to_owned()));
+        // The repaired device really stores the intended table.
+        assert_eq!(device.lut_config(victim), Some(table));
+    }
+
+    #[test]
+    fn fault_outside_the_bitstream_is_unrecoverable_not_a_panic() {
+        let n = circuit();
+        let flow = Flow::new(Library::predictive_90nm());
+        let out = flow
+            .run(&n, SelectionAlgorithm::ParametricAware, 9)
+            .unwrap();
+        let mut device = out.overlay.clone();
+        // Weld a plain CMOS gate's output to a constant — nothing in the
+        // bitstream can fix that.
+        let victim = out
+            .hybrid
+            .node_ids()
+            .find(|&id| {
+                matches!(out.hybrid.node(id), sttlock_netlist::Node::Gate { fanin, .. }
+                    if fanin.len() <= sttlock_netlist::MAX_LUT_INPUTS)
+                    && !view_feeds_nothing(&n, id)
+            })
+            .expect("some gate drives an observation point");
+        // Invert it outright: wrong on every input row, guaranteed to be
+        // observable and unfixable by bitstream writes.
+        let wrong = device.replace_gate_with_lut(victim).unwrap().complement();
+        device.set_lut_config(victim, wrong);
+        let mut channel = sttlock_fault::PerfectChannel;
+        let report = verify_and_repair(
+            &n,
+            &mut device,
+            &out.bitstream,
+            &mut channel,
+            &RepairConfig::default(),
+            1,
+        )
+        .unwrap();
+        assert_ne!(report.verdict, RepairVerdict::Recovered, "{report:?}");
+        assert!(report.residual_mismatches > 0);
+    }
+
+    /// Whether `id`'s fan-out cone reaches no observation point (a
+    /// stuck fault there would be silent and the test vacuous).
+    fn view_feeds_nothing(n: &Netlist, id: sttlock_netlist::NodeId) -> bool {
+        let view = CircuitView::new(n);
+        let cone = view.fanout_cone(&[id], false);
+        let mut points: Vec<sttlock_netlist::NodeId> = n.outputs().to_vec();
+        for (_, node) in n.iter() {
+            if let sttlock_netlist::Node::Dff { d } = node {
+                points.push(*d);
+            }
+        }
+        !points.iter().any(|p| cone.binary_search(p).is_ok())
     }
 
     #[test]

@@ -87,6 +87,22 @@ pub struct HardenReport {
     pub decoys_added: usize,
     /// Gates absorbed into downstream LUTs.
     pub gates_absorbed: usize,
+    /// STT cells (truth-table rows) after hardening — the device's fault
+    /// surface. Every decoy input doubles the victim LUT's share, so
+    /// hardening trades fault exposure for obscurity; fault campaigns
+    /// read this to normalize recovery rates.
+    pub fault_surface_rows: usize,
+}
+
+/// STT cells at risk in a hybrid: the total truth-table rows across
+/// programmed LUTs (one non-volatile cell per row). This is the universe
+/// the per-row probabilities of a fault model apply to.
+pub fn fault_surface(netlist: &Netlist) -> usize {
+    netlist
+        .iter()
+        .filter_map(|(id, _)| netlist.lut_config(id))
+        .map(|t| t.rows())
+        .sum()
 }
 
 /// Hardens every programmed LUT of a hybrid netlist in place.
@@ -153,6 +169,7 @@ pub fn harden<R: Rng + ?Sized>(
             report.decoys_added += 1;
         }
     }
+    report.fault_surface_rows = fault_surface(netlist);
     Ok(report)
 }
 
@@ -294,6 +311,25 @@ mod tests {
             let pat: Vec<u64> = (0..inputs).map(|_| rng.gen()).collect();
             sa.step(&pat).unwrap() == sb.step(&pat).unwrap()
         })
+    }
+
+    #[test]
+    fn decoys_inflate_the_reported_fault_surface() {
+        let n = absorbable();
+        let before = fault_surface(&n);
+        assert_eq!(before, 4); // one 2-input LUT
+        let mut hardened = n.clone();
+        let cfg = HardenConfig {
+            decoy_probability: 1.0,
+            absorb: true,
+            max_fanin: 6,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = harden(&mut hardened, &cfg, &mut rng).unwrap();
+        assert_eq!(report.fault_surface_rows, fault_surface(&hardened));
+        if report.decoys_added + report.gates_absorbed > 0 {
+            assert!(report.fault_surface_rows > before);
+        }
     }
 
     #[test]

@@ -50,10 +50,13 @@ pub mod oracle;
 pub mod replace;
 pub mod select;
 
-mod flow;
+pub mod flow;
+
 mod report;
 
-pub use flow::{Flow, FlowError, FlowOutcome};
+pub use flow::{
+    verify_and_repair, Flow, FlowError, FlowOutcome, RepairConfig, RepairReport, RepairVerdict,
+};
 pub use oracle::{FullSta, TimingOracle};
 pub use report::FlowReport;
 pub use select::{SelectionAlgorithm, SelectionConfig};

@@ -1,0 +1,205 @@
+//! Fault-model parameters and the record of what was injected.
+
+use std::fmt;
+
+use sttlock_netlist::NodeId;
+
+/// Per-device fault probabilities.
+///
+/// All LUT probabilities are *per truth-table row* (one STT cell per
+/// row); `cmos_stuck_p` is per combinational gate. The default model is
+/// fault-free, which keeps the campaign's no-fault path byte-identical
+/// to a run without any fault axis at all.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultModel {
+    /// Probability that a written row lands flipped (programming-time
+    /// stochastic write failure). Re-rolled on every write, so a
+    /// re-program retry can succeed where the first attempt failed.
+    pub write_failure_p: f64,
+    /// Probability that a stored row has flipped by verify time
+    /// (retention loss). Applied once, at injection.
+    pub retention_flip_p: f64,
+    /// Probability that a row's cell is welded to 0. Persists across
+    /// re-programming — the repair loop cannot fix it.
+    pub stuck_at_zero_p: f64,
+    /// Probability that a row's cell is welded to 1. Also permanent.
+    pub stuck_at_one_p: f64,
+    /// Probability that a CMOS gate's output is stuck at a constant
+    /// (0 or 1 with equal probability).
+    pub cmos_stuck_p: f64,
+}
+
+impl FaultModel {
+    /// A model that injects only write failures — the fault-sweep axis
+    /// of the EXPERIMENTS.md recovery table.
+    pub fn write_failures(p: f64) -> Self {
+        FaultModel {
+            write_failure_p: p,
+            ..FaultModel::default()
+        }
+    }
+
+    /// Whether the model can never inject anything.
+    pub fn is_noop(&self) -> bool {
+        self.write_failure_p == 0.0
+            && self.retention_flip_p == 0.0
+            && self.stuck_at_zero_p == 0.0
+            && self.stuck_at_one_p == 0.0
+            && self.cmos_stuck_p == 0.0
+    }
+
+    /// Probability that any given truth-table row is faulted, combining
+    /// the four independent per-row mechanisms. This is the `p` fed to
+    /// `security_under_faults`: the chance a secret row leaks through
+    /// the fault channel.
+    pub fn row_fault_p(&self) -> f64 {
+        let survive = (1.0 - self.write_failure_p.clamp(0.0, 1.0))
+            * (1.0 - self.retention_flip_p.clamp(0.0, 1.0))
+            * (1.0 - self.stuck_at_zero_p.clamp(0.0, 1.0))
+            * (1.0 - self.stuck_at_one_p.clamp(0.0, 1.0));
+        1.0 - survive
+    }
+
+    /// Stable descriptor for records and cache keys; `none` when the
+    /// model is a no-op.
+    pub fn descriptor(&self) -> String {
+        if self.is_noop() {
+            return "none".to_owned();
+        }
+        let mut parts = Vec::new();
+        for (tag, p) in [
+            ("wf", self.write_failure_p),
+            ("ret", self.retention_flip_p),
+            ("sa0", self.stuck_at_zero_p),
+            ("sa1", self.stuck_at_one_p),
+            ("cmos", self.cmos_stuck_p),
+        ] {
+            if p != 0.0 {
+                parts.push(format!("{tag}={p}"));
+            }
+        }
+        parts.join(",")
+    }
+}
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.descriptor())
+    }
+}
+
+/// One concrete injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Truth-table row `row` flipped during programming.
+    WriteFailure {
+        /// The affected truth-table row.
+        row: usize,
+    },
+    /// Truth-table row `row` flipped in storage.
+    RetentionFlip {
+        /// The affected truth-table row.
+        row: usize,
+    },
+    /// Truth-table row `row` is permanently welded to `value`.
+    StuckRow {
+        /// The affected truth-table row.
+        row: usize,
+        /// The welded value.
+        value: bool,
+    },
+    /// The gate's output is stuck at `value`.
+    CmosStuck {
+        /// The constant the output is stuck at.
+        value: bool,
+    },
+}
+
+impl FaultKind {
+    /// Whether re-programming can ever clear this fault.
+    pub fn is_repairable(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::WriteFailure { .. } | FaultKind::RetentionFlip { .. }
+        )
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::WriteFailure { row } => write!(f, "write-failure@row{row}"),
+            FaultKind::RetentionFlip { row } => write!(f, "retention-flip@row{row}"),
+            FaultKind::StuckRow { row, value } => {
+                write!(f, "stuck-at-{}@row{row}", u8::from(*value))
+            }
+            FaultKind::CmosStuck { value } => write!(f, "cmos-stuck-at-{}", u8::from(*value)),
+        }
+    }
+}
+
+/// A fault pinned to a node of the hybrid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The afflicted node.
+    pub node: NodeId,
+    /// The node's name (for reports that outlive the netlist).
+    pub name: String,
+    /// What happened to it.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_is_noop_with_stable_descriptor() {
+        let m = FaultModel::default();
+        assert!(m.is_noop());
+        assert_eq!(m.descriptor(), "none");
+    }
+
+    #[test]
+    fn descriptor_lists_only_active_probabilities() {
+        let m = FaultModel {
+            write_failure_p: 0.01,
+            stuck_at_one_p: 0.001,
+            ..FaultModel::default()
+        };
+        assert!(!m.is_noop());
+        assert_eq!(m.descriptor(), "wf=0.01,sa1=0.001");
+        assert_eq!(FaultModel::write_failures(0.5).descriptor(), "wf=0.5");
+    }
+
+    #[test]
+    fn row_fault_p_combines_the_independent_mechanisms() {
+        assert_eq!(FaultModel::default().row_fault_p(), 0.0);
+        assert_eq!(FaultModel::write_failures(0.25).row_fault_p(), 0.25);
+        let both = FaultModel {
+            write_failure_p: 0.5,
+            retention_flip_p: 0.5,
+            ..FaultModel::default()
+        };
+        assert!((both.row_fault_p() - 0.75).abs() < 1e-12);
+        assert_eq!(FaultModel::write_failures(9.0).row_fault_p(), 1.0);
+    }
+
+    #[test]
+    fn repairability_follows_the_device_physics() {
+        assert!(FaultKind::WriteFailure { row: 0 }.is_repairable());
+        assert!(FaultKind::RetentionFlip { row: 1 }.is_repairable());
+        assert!(!FaultKind::StuckRow {
+            row: 2,
+            value: true
+        }
+        .is_repairable());
+        assert!(!FaultKind::CmosStuck { value: false }.is_repairable());
+    }
+}

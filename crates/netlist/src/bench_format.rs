@@ -166,7 +166,10 @@ fn parse_line(builder: &mut NetlistBuilder, line: &str, lineno: usize) -> Result
 
 fn strip_keyword<'a>(line: &'a str, kw: &str) -> Option<&'a str> {
     let trimmed = line.trim_start();
-    if trimmed.len() >= kw.len() && trimmed[..kw.len()].eq_ignore_ascii_case(kw) {
+    // `get` rather than indexing: a multibyte character straddling the
+    // keyword length must read as "not this keyword", not a panic.
+    let head = trimmed.get(..kw.len())?;
+    if head.eq_ignore_ascii_case(kw) {
         let rest = &trimmed[kw.len()..];
         if rest.trim_start().starts_with('(') {
             return Some(rest);
@@ -351,5 +354,23 @@ y  = NOT(t2)
         let src = "\n\n  INPUT(a)  \n\nOUTPUT(b)\n  b = BUFF( a )\n";
         let n = parse(src, "ws").unwrap();
         assert_eq!(n.gate_count(), 1);
+    }
+
+    #[test]
+    fn multibyte_garbage_errors_instead_of_panicking() {
+        // `É` is two bytes; it straddles the 5-byte "INPUT" prefix that
+        // strip_keyword slices off, which used to panic on a char
+        // boundary. Every variant must come back as a typed error.
+        for src in [
+            "INPUÉ(x)\n",
+            "OUTPÉT(y)\n",
+            "ÉNPUT(x)\n",
+            "INPUT(a)\ny = NÉND(a, a)\nOUTPUT(y)\n",
+        ] {
+            assert!(matches!(
+                parse(src, "mangled"),
+                Err(NetlistError::Parse { .. })
+            ));
+        }
     }
 }

@@ -51,6 +51,16 @@ pub enum NetlistError {
         /// Declared fan-in.
         fanin: usize,
     },
+    /// A LUT was declared with a truth table whose width disagrees with
+    /// its fan-in list.
+    ConfigWidthMismatch {
+        /// Node name.
+        name: String,
+        /// Inputs the supplied truth table expects.
+        config_inputs: usize,
+        /// Declared fan-in.
+        fanin: usize,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -87,6 +97,16 @@ impl fmt::Display for NetlistError {
                 write!(
                     f,
                     "LUT `{name}` has fan-in {fanin}, above the supported maximum of 6"
+                )
+            }
+            NetlistError::ConfigWidthMismatch {
+                name,
+                config_inputs,
+                fanin,
+            } => {
+                write!(
+                    f,
+                    "LUT `{name}` has a {config_inputs}-input truth table but {fanin} fan-in wires"
                 )
             }
         }

@@ -587,11 +587,13 @@ impl NetlistBuilder {
                         });
                     }
                     if let Some(t) = config {
-                        assert_eq!(
-                            t.inputs(),
-                            fanin_names.len(),
-                            "LUT config width must match fan-in"
-                        );
+                        if t.inputs() != fanin_names.len() {
+                            return Err(NetlistError::ConfigWidthMismatch {
+                                name: name.clone(),
+                                config_inputs: t.inputs(),
+                                fanin: fanin_names.len(),
+                            });
+                        }
                     }
                     let fanin = fanin_names
                         .iter()
@@ -740,6 +742,23 @@ mod tests {
             b.finish(),
             Err(NetlistError::UnknownOutput {
                 name: "ghost".into()
+            })
+        );
+    }
+
+    #[test]
+    fn mismatched_lut_config_width_is_rejected() {
+        let mut b = NetlistBuilder::new("bad");
+        b.input("a");
+        b.input("b");
+        b.lut("g", &["a", "b"], Some(TruthTable::new(3, 0x96)));
+        b.output("g");
+        assert_eq!(
+            b.finish(),
+            Err(NetlistError::ConfigWidthMismatch {
+                name: "g".into(),
+                config_inputs: 3,
+                fanin: 2,
             })
         );
     }

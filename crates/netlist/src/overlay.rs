@@ -180,6 +180,44 @@ impl HybridOverlay {
         }
     }
 
+    /// Clears the programmed configuration of the LUT at `id`, leaving a
+    /// redacted LUT — the per-node analogue of [`Netlist::redact`], used
+    /// to model a cell whose stored contents are lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a LUT (through the overlay).
+    pub fn redact_lut(&mut self, id: NodeId) {
+        let fanin = match self.node(id) {
+            Node::Lut { fanin, .. } => fanin.clone(),
+            other => panic!("redact_lut: node {id} is {other:?}, not a LUT"),
+        };
+        self.edits.insert(
+            id,
+            Node::Lut {
+                fanin,
+                config: None,
+            },
+        );
+    }
+
+    /// The bitstream currently stored in the overlay's programmed LUTs,
+    /// in ascending node-id order — the edit-API counterpart of
+    /// [`Netlist::redact`]'s bitstream half. Redacted LUTs are omitted.
+    pub fn bitstream(&self) -> Vec<(NodeId, TruthTable)> {
+        let mut out = Vec::new();
+        for (id, _) in self.base.iter() {
+            if let Node::Lut {
+                config: Some(table),
+                ..
+            } = self.node(id)
+            {
+                out.push((id, *table));
+            }
+        }
+        out
+    }
+
     /// Produces a plain [`Netlist`] equal to cloning the base and
     /// applying this overlay's mutations directly — bit-identical,
     /// because the edits store the exact final node each mutation entry
@@ -258,6 +296,30 @@ mod tests {
         overlay.replace_gate_with_lut(g1).unwrap();
         overlay.restore_lut_to_gate(g1, GateKind::Nand);
         assert_eq!(overlay.materialize(), *base);
+    }
+
+    #[test]
+    fn bitstream_round_trips_through_redaction() {
+        let base = toy();
+        let g1 = base.find("g1").unwrap();
+        let g2 = base.find("g2").unwrap();
+        let mut overlay = HybridOverlay::new(Arc::clone(&base));
+        overlay.replace_gate_with_lut(g1).unwrap();
+        overlay.replace_gate_with_lut(g2).unwrap();
+
+        let bits = overlay.bitstream();
+        assert_eq!(bits.len(), 2);
+        assert_eq!(bits[0], (g1, TruthTable::from_gate(GateKind::Nand, 2)));
+        assert_eq!(bits[1], (g2, TruthTable::from_gate(GateKind::Xor, 2)));
+
+        overlay.redact_lut(g1);
+        assert_eq!(overlay.lut_config(g1), None);
+        assert_eq!(overlay.bitstream().len(), 1);
+
+        // Re-programming the saved bitstream restores the hybrid.
+        let saved = bits.clone();
+        overlay.program(&saved);
+        assert_eq!(overlay.bitstream(), bits);
     }
 
     #[test]

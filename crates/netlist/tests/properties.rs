@@ -336,3 +336,59 @@ proptest! {
         }
     }
 }
+
+/// Characters spliced into valid netlist text by the fuzz properties:
+/// the format's own structure characters, plus multibyte UTF-8 — a
+/// 2-byte char landing inside a keyword used to panic the fixed-length
+/// keyword slice in the `.bench` reader.
+const MANGLE_CHARS: &[char] = &[
+    '(', ')', '=', ',', '#', '?', ';', ' ', '\n', 'x', '0', 'É', 'Ω', '€', '🜁',
+];
+
+/// Applies character-level replace/insert/delete edits to `text`.
+/// Char-wise (not byte-wise) so the result stays valid UTF-8, which is
+/// all a `&str` parser can ever receive.
+fn mangle(text: &str, edits: &[(usize, u8, u8)]) -> String {
+    let mut chars: Vec<char> = text.chars().collect();
+    for &(pos, pick, op) in edits {
+        if chars.is_empty() {
+            break;
+        }
+        let at = pos % chars.len();
+        let c = MANGLE_CHARS[pick as usize % MANGLE_CHARS.len()];
+        match op % 3 {
+            0 => chars[at] = c,
+            1 => chars.insert(at, c),
+            _ => {
+                chars.remove(at);
+            }
+        }
+    }
+    chars.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Byte-mangled `.bench` text must parse to Ok or a typed error —
+    /// never a panic.
+    #[test]
+    fn mangled_bench_text_never_panics(
+        n in arb_circuit(),
+        edits in prop::collection::vec((any::<usize>(), any::<u8>(), any::<u8>()), 1..12),
+    ) {
+        let bad = mangle(&bench_format::write(&n), &edits);
+        let _ = bench_format::parse(&bad, "fuzz");
+    }
+
+    /// Byte-mangled structural Verilog must parse to Ok or a typed
+    /// error — never a panic.
+    #[test]
+    fn mangled_verilog_text_never_panics(
+        n in arb_circuit(),
+        edits in prop::collection::vec((any::<usize>(), any::<u8>(), any::<u8>()), 1..12),
+    ) {
+        let bad = mangle(&verilog::write(&n), &edits);
+        let _ = verilog::parse(&bad);
+    }
+}

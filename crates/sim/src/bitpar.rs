@@ -19,6 +19,10 @@ pub struct Simulator<'a> {
     /// Registered state for DFF nodes (indexed like `values`, unused
     /// entries stay 0).
     state: Vec<u64>,
+    /// Stuck-at overrides, sorted by node id: the node's value word is
+    /// pinned to the given word in every evaluation (all 64 lanes
+    /// independently, so a lane mask can model per-lane faults).
+    forces: Vec<(NodeId, u64)>,
 }
 
 impl<'a> Simulator<'a> {
@@ -51,6 +55,7 @@ impl<'a> Simulator<'a> {
             order: view.topo_order_arc(),
             values: vec![0; netlist.len()],
             state: vec![0; netlist.len()],
+            forces: Vec::new(),
         })
     }
 
@@ -77,6 +82,7 @@ impl<'a> Simulator<'a> {
             order,
             values: vec![0; netlist.len()],
             state: vec![0; netlist.len()],
+            forces: Vec::new(),
         })
     }
 
@@ -94,6 +100,38 @@ impl<'a> Simulator<'a> {
     /// Current value word of a net.
     pub fn value(&self, id: NodeId) -> u64 {
         self.values[id.index()]
+    }
+
+    /// Pins the node's value to `word` in every subsequent evaluation —
+    /// masked (faulty) evaluation of stuck-at nodes without editing the
+    /// netlist. Bit `l` applies to lane `l`, so a partial mask models a
+    /// fault present in only some pattern streams. Replaces any earlier
+    /// force on the same node.
+    pub fn force(&mut self, id: NodeId, word: u64) {
+        match self.forces.binary_search_by_key(&id, |&(n, _)| n) {
+            Ok(k) => self.forces[k].1 = word,
+            Err(k) => self.forces.insert(k, (id, word)),
+        }
+    }
+
+    /// Removes the force on `id`, if any.
+    pub fn unforce(&mut self, id: NodeId) {
+        if let Ok(k) = self.forces.binary_search_by_key(&id, |&(n, _)| n) {
+            self.forces.remove(k);
+        }
+    }
+
+    /// Removes every force.
+    pub fn clear_forces(&mut self) {
+        self.forces.clear();
+    }
+
+    /// The stuck-at override for `id`, if one is active.
+    fn forced(&self, id: NodeId) -> Option<u64> {
+        self.forces
+            .binary_search_by_key(&id, |&(n, _)| n)
+            .ok()
+            .map(|k| self.forces[k].1)
     }
 
     /// Evaluates the combinational logic for the given primary-input
@@ -122,9 +160,14 @@ impl<'a> Simulator<'a> {
                 _ => {}
             }
         }
+        if !self.forces.is_empty() {
+            for &(id, word) in &self.forces {
+                self.values[id.index()] = word;
+            }
+        }
         let mut scratch: Vec<u64> = Vec::with_capacity(8);
         for &id in self.order.iter() {
-            let out = match self.netlist.node(id) {
+            let mut out = match self.netlist.node(id) {
                 Node::Gate { kind, fanin } => {
                     use sttlock_netlist::GateKind::*;
                     let mut it = fanin.iter().map(|f| self.values[f.index()]);
@@ -147,6 +190,11 @@ impl<'a> Simulator<'a> {
                 }
                 _ => continue,
             };
+            if !self.forces.is_empty() {
+                if let Some(word) = self.forced(id) {
+                    out = word;
+                }
+            }
             self.values[id.index()] = out;
         }
         Ok(())
@@ -289,6 +337,44 @@ mod tests {
             let expect = ((av && bv) || cv) ^ av;
             assert_eq!((outs[0] >> lane) & 1 == 1, expect, "lane {lane}");
         }
+    }
+
+    #[test]
+    fn forces_pin_nodes_and_clear_cleanly() {
+        let n = comb();
+        let g1 = n.find("g1").unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        // a=b=1, c=0: g1=1, g2=1, g3 = 1 ^ 1 = 0.
+        let outs = sim.step(&[u64::MAX, u64::MAX, 0]).unwrap();
+        assert_eq!(outs[0], 0);
+        // Stuck-at-0 on g1: g2 = 0 | 0 = 0, g3 = 0 ^ 1 = 1.
+        sim.force(g1, 0);
+        let outs = sim.step(&[u64::MAX, u64::MAX, 0]).unwrap();
+        assert_eq!(outs[0], u64::MAX);
+        assert_eq!(sim.value(g1), 0);
+        // A half-lane mask faults only the low 32 lanes.
+        sim.force(g1, !0u64 >> 32 << 32);
+        let outs = sim.step(&[u64::MAX, u64::MAX, 0]).unwrap();
+        assert_eq!(outs[0], u64::MAX >> 32);
+        sim.unforce(g1);
+        let outs = sim.step(&[u64::MAX, u64::MAX, 0]).unwrap();
+        assert_eq!(outs[0], 0);
+        sim.force(g1, 0);
+        sim.clear_forces();
+        let outs = sim.step(&[u64::MAX, u64::MAX, 0]).unwrap();
+        assert_eq!(outs[0], 0);
+    }
+
+    #[test]
+    fn forcing_a_primary_input_overrides_the_pattern_word() {
+        let n = comb();
+        let a = n.find("a").unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.force(a, 0);
+        // Pattern says a=1 everywhere, but the force pins it to 0:
+        // g1 = 0, g2 = c, g3 = c ^ 0 = c.
+        let outs = sim.step(&[u64::MAX, u64::MAX, 0xF0F0]).unwrap();
+        assert_eq!(outs[0], 0xF0F0);
     }
 
     #[test]

@@ -48,6 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &SensitizationConfig {
                 patterns_per_gate: 256,
                 sat_justification: true,
+                ..SensitizationConfig::default()
             },
             &mut rng,
         )?;

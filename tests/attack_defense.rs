@@ -27,6 +27,7 @@ fn sensitization_breaks_independent_but_not_dependent() {
     let cfg = SensitizationConfig {
         patterns_per_gate: 128,
         sat_justification: true,
+        ..SensitizationConfig::default()
     };
 
     let (redacted, oracle) = locked(SelectionAlgorithm::Independent, 42);
@@ -55,6 +56,7 @@ fn recovered_bitstreams_reproduce_the_oracle() {
     let cfg = SensitizationConfig {
         patterns_per_gate: 128,
         sat_justification: true,
+        ..SensitizationConfig::default()
     };
     let mut rng = StdRng::seed_from_u64(2);
     let out = sensitization::run(&redacted, &oracle, &cfg, &mut rng).expect("attack runs");
