@@ -292,10 +292,12 @@ pub fn run<R: Rng + ?Sized>(
         let mut progress = false;
 
         // Random stage.
+        let random_span = sttlock_obs::span!("attack.random_stage");
         for &g in &missing {
             if state.gates[&g].is_complete() {
                 continue;
             }
+            let _gate = sttlock_obs::span!("attack.gate_random", gate = g.index() as u64);
             for _ in 0..cfg.patterns_per_gate {
                 if state.gates[&g].is_complete() {
                     break;
@@ -309,14 +311,17 @@ pub fn run<R: Rng + ?Sized>(
                 progress |= try_pattern(&view, &mut state, g, &inputs, &st)?;
             }
         }
+        drop(random_span);
 
         // SAT-guided justification stage: target the leftover rows.
         if cfg.sat_justification {
+            let _sat_stage = sttlock_obs::span!("attack.sat_stage");
             for &g in &missing {
                 let entry = &state.gates[&g];
                 if entry.is_complete() {
                     continue;
                 }
+                let _gate = sttlock_obs::span!("attack.gate_justify", gate = g.index() as u64);
                 let open = entry.all_rows() & !(entry.resolved_rows | entry.dont_care_rows);
                 for row in 0..(1usize << entry.fanin) {
                     if open & (1 << row) == 0 {
@@ -352,6 +357,7 @@ pub fn run<R: Rng + ?Sized>(
     // Escalation for a small stalled residue of mutually blinding gates
     // (Equation 2: exponential in the cluster size, so bounded).
     if !out_of_budget && cfg.sat_justification {
+        let _joint = sttlock_obs::span!("attack.joint_stage");
         out_of_budget = !joint_cluster_stage(redacted, &mut state, &budget)?;
     }
 

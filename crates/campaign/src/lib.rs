@@ -67,6 +67,10 @@ pub enum CircuitSpec {
     /// A synthetic cell that never finishes — exercises the per-run
     /// timeout.
     InjectTimeout,
+    /// A synthetic cell that panics *while holding the shared
+    /// generation-pool lock* — exercises poisoned-mutex recovery (the
+    /// poison must not sink sibling cells).
+    InjectPoison,
 }
 
 impl CircuitSpec {
@@ -77,12 +81,16 @@ impl CircuitSpec {
             CircuitSpec::Custom { name, .. } => name,
             CircuitSpec::InjectPanic => "inject-panic",
             CircuitSpec::InjectTimeout => "inject-timeout",
+            CircuitSpec::InjectPoison => "inject-poison",
         }
     }
 
     /// Whether this is one of the synthetic fault-injection cells.
     pub fn is_injected(&self) -> bool {
-        matches!(self, CircuitSpec::InjectPanic | CircuitSpec::InjectTimeout)
+        matches!(
+            self,
+            CircuitSpec::InjectPanic | CircuitSpec::InjectTimeout | CircuitSpec::InjectPoison
+        )
     }
 }
 

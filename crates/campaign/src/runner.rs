@@ -9,20 +9,26 @@
 //! * a panic inside the cell is contained by `catch_unwind` and becomes
 //!   a [`RunStatus::Panicked`] record (the stock panic hook still
 //!   prints the backtrace to stderr — the campaign does not install a
-//!   global hook, which would race with concurrent tests);
+//!   global hook, which would race with concurrent tests); a panic that
+//!   poisons a shared lock (journal, result slots, generation pool) is
+//!   recovered from the `PoisonError` — the protected data is a file
+//!   handle or plain slots, both valid after an unwind — and counted as
+//!   `campaign.poison_recovered`;
 //! * a cell that exceeds the budget becomes [`RunStatus::TimedOut`];
-//!   its thread keeps running detached until the process exits — the
-//!   cost of having no preemption, acceptable for a batch driver whose
-//!   process ends with the campaign.
+//!   the runner abandons its detached thread but leaves a cancel flag
+//!   behind, checked between stages (and inside the injected-timeout
+//!   loop), so the thread winds down promptly instead of burning CPU
+//!   until process exit. Live abandoned threads are visible as the
+//!   `campaign.abandoned_cells` gauge.
 
 use std::collections::HashMap;
 use std::fs;
 use std::io::Write;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -50,6 +56,18 @@ use crate::{circuit_seed, AttackKind, CampaignSpec, Cell, CircuitSpec};
 /// Only successful generations are cached — the fault-injection specs
 /// panic/hang inside the isolation boundary before reaching the pool.
 type GenPool = Arc<Mutex<HashMap<(String, u64), Arc<Netlist>>>>;
+
+/// Locks a campaign mutex, recovering the guard when a panicking cell
+/// poisoned it. Every campaign mutex protects data that stays valid
+/// across an unwind (an append-only file handle, `Option` result slots,
+/// an insert-only pool), so recovery is always sound; each recovery is
+/// counted as `campaign.poison_recovered`.
+fn recover_lock<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|poisoned| {
+        sttlock_obs::counter("campaign.poison_recovered", 1);
+        poisoned.into_inner()
+    })
+}
 
 /// Everything a finished campaign reports.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,12 +130,21 @@ pub fn execute(spec: &CampaignSpec) -> CampaignResult {
                 let _ = fs::create_dir_all(parent);
             }
         }
+        let torn_tail = fs::read(path).is_ok_and(|b| b.last().is_some_and(|&c| c != b'\n'));
         fs::OpenOptions::new()
             .append(true)
             .create(true)
             .open(path)
             .ok()
-            .map(Mutex::new)
+            .map(|mut file| {
+                // A crash mid-append leaves a torn, newline-less final
+                // line; start on a fresh line so the records appended
+                // now don't glue onto it and become unparseable too.
+                if torn_tail {
+                    let _ = writeln!(file);
+                }
+                Mutex::new(file)
+            })
     });
 
     let workers = if spec.jobs > 0 {
@@ -131,31 +158,54 @@ pub fn execute(spec: &CampaignSpec) -> CampaignResult {
     let next = AtomicUsize::new(0);
     let pool: GenPool = Arc::new(Mutex::new(HashMap::new()));
 
+    let root = sttlock_obs::span!(
+        "campaign.execute",
+        cells = cells.len() as u64,
+        workers = workers as u64
+    );
+    let ctx = sttlock_obs::current_context();
+
     thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(cell) = cells.get(i) else { break };
-                let record = match replay.get(&cell_journal_key(cell)) {
-                    Some(done) if done.status.is_ok() => done.clone(),
-                    _ => {
-                        let r = run_cell_isolated(cell, spec.timeout, cache.as_ref(), &pool);
-                        if let Some(journal) = &journal {
-                            let mut file = journal.lock().expect("journal mutex poisoned");
-                            let _ = writeln!(file, "{}", r.to_json());
-                            let _ = file.flush();
+            scope.spawn(|| {
+                let _adopted = sttlock_obs::adopt(ctx);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    let mut cell_span = sttlock_obs::span!(
+                        "campaign.cell",
+                        circuit = cell.circuit.name(),
+                        algorithm = cell.algorithm.to_string(),
+                        seed = cell.seed,
+                        queue_us = start.elapsed().as_micros() as u64,
+                    );
+                    let record = match replay.get(&cell_journal_key(cell)) {
+                        Some(done) if done.status.is_ok() => {
+                            cell_span.record("replayed", true);
+                            done.clone()
                         }
-                        r
-                    }
-                };
-                slots.lock().expect("result mutex poisoned")[i] = Some(record);
+                        _ => {
+                            let r = run_cell_isolated(cell, spec.timeout, cache.as_ref(), &pool);
+                            if let Some(journal) = &journal {
+                                let mut file = recover_lock(journal);
+                                let _ = writeln!(file, "{}", r.to_json());
+                                let _ = file.flush();
+                            }
+                            r
+                        }
+                    };
+                    cell_span.record("status", record.status.tag());
+                    drop(cell_span);
+                    recover_lock(&slots)[i] = Some(record);
+                }
             });
         }
     });
+    drop(root);
 
     let records = slots
         .into_inner()
-        .expect("result mutex poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
         .map(|r| r.expect("every cell produces a record"))
         .collect();
@@ -166,6 +216,13 @@ pub fn execute(spec: &CampaignSpec) -> CampaignResult {
 }
 
 /// Runs one cell on a detached thread with a wall-clock budget.
+///
+/// On timeout the thread is abandoned, not killed: the runner raises a
+/// cancel flag the cell checks between stages, so the thread winds down
+/// at the next stage boundary. The `campaign.abandoned_cells` gauge is
+/// incremented *before* the flag is raised and decremented by the cell
+/// thread once it observes the flag, so the gauge never goes negative
+/// and drains to zero when every abandoned thread has exited.
 fn run_cell_isolated(
     cell: &Cell,
     timeout: Duration,
@@ -174,19 +231,32 @@ fn run_cell_isolated(
 ) -> RunRecord {
     let start = Instant::now();
     let (tx, rx) = mpsc::channel();
+    let cancel = Arc::new(AtomicBool::new(false));
     let owned_cell = cell.clone();
     let owned_cache = cache.cloned();
     let owned_pool = Arc::clone(pool);
+    let owned_cancel = Arc::clone(&cancel);
+    let ctx = sttlock_obs::current_context();
     thread::spawn(move || {
+        let _adopted = sttlock_obs::adopt(ctx);
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
-            run_cell(&owned_cell, owned_cache.as_ref(), &owned_pool)
+            run_cell(
+                &owned_cell,
+                owned_cache.as_ref(),
+                &owned_pool,
+                &owned_cancel,
+            )
         }));
         // The receiver may have given up (timeout); that is fine.
         let _ = tx.send(result);
+        if owned_cancel.load(Ordering::SeqCst) {
+            sttlock_obs::gauge("campaign.abandoned_cells", -1);
+        }
     });
     match rx.recv_timeout(timeout) {
         Ok(Ok(record)) => record,
         Ok(Err(payload)) => {
+            sttlock_obs::counter("campaign.panic", 1);
             let mut r = RunRecord::failure(
                 cell.circuit.name(),
                 &cell.algorithm.to_string(),
@@ -199,6 +269,9 @@ fn run_cell_isolated(
             r
         }
         Err(_) => {
+            sttlock_obs::counter("campaign.timeout", 1);
+            sttlock_obs::gauge("campaign.abandoned_cells", 1);
+            cancel.store(true, Ordering::SeqCst);
             let mut r = RunRecord::failure(
                 cell.circuit.name(),
                 &cell.algorithm.to_string(),
@@ -292,9 +365,14 @@ fn load_journal(path: &Path) -> HashMap<String, RunRecord> {
 /// collide. The lock is never held across generation, so concurrent
 /// first-generations of the same pair may race — generation is
 /// deterministic per (spec, seed), making the duplicate work harmless.
-fn generate(circuit: &CircuitSpec, seed: u64, pool: &GenPool) -> Result<Arc<Netlist>, String> {
+fn generate(
+    circuit: &CircuitSpec,
+    seed: u64,
+    pool: &GenPool,
+    cancel: &AtomicBool,
+) -> Result<Arc<Netlist>, String> {
     let key = (format!("{circuit:?}"), seed);
-    if let Some(hit) = pool.lock().expect("generation pool poisoned").get(&key) {
+    if let Some(hit) = recover_lock(pool).get(&key) {
         return Ok(Arc::clone(hit));
     }
     let profile = match circuit {
@@ -309,21 +387,36 @@ fn generate(circuit: &CircuitSpec, seed: u64, pool: &GenPool) -> Result<Arc<Netl
             ..
         } => Profile::custom("custom", *gates, *dffs, *inputs, *outputs),
         CircuitSpec::InjectPanic => panic!("injected panic cell"),
-        CircuitSpec::InjectTimeout => loop {
-            // Never finishes; the runner abandons this thread on timeout.
-            thread::sleep(Duration::from_secs(3600));
-        },
+        CircuitSpec::InjectTimeout => {
+            // Never finishes on its own; once the runner abandons this
+            // thread and raises the cancel flag, wind down promptly
+            // instead of sleeping for an hour at a time.
+            while !cancel.load(Ordering::SeqCst) {
+                thread::sleep(Duration::from_millis(10));
+            }
+            return Err("cancelled after timeout".to_owned());
+        }
+        CircuitSpec::InjectPoison => {
+            // Poison the pool lock the way a real generation bug would:
+            // panic while holding the guard. The cell's `catch_unwind`
+            // contains the panic; siblings must recover the lock.
+            let _guard = recover_lock(pool);
+            panic!("injected poison cell");
+        }
     };
     let mut rng = StdRng::seed_from_u64(circuit_seed(seed, circuit.name()));
     let netlist = Arc::new(profile.generate(&mut rng));
-    pool.lock()
-        .expect("generation pool poisoned")
-        .insert(key, Arc::clone(&netlist));
+    recover_lock(pool).insert(key, Arc::clone(&netlist));
     Ok(netlist)
 }
 
 /// Runs one cell to completion: generate → cache probe → flow → attack.
-fn run_cell(cell: &Cell, cache: Option<&Cache>, pool: &GenPool) -> RunRecord {
+///
+/// `cancel` is the runner's abandon flag; it is polled between stages so
+/// an abandoned cell stops promptly. The early-return record of a
+/// cancelled cell is discarded — the runner already recorded the
+/// timeout row.
+fn run_cell(cell: &Cell, cache: Option<&Cache>, pool: &GenPool, cancel: &AtomicBool) -> RunRecord {
     let start = Instant::now();
     let algorithm = cell.algorithm.to_string();
     let fail = |status| {
@@ -339,10 +432,16 @@ fn run_cell(cell: &Cell, cache: Option<&Cache>, pool: &GenPool) -> RunRecord {
         r
     };
 
-    let netlist = match generate(&cell.circuit, cell.seed, pool) {
-        Ok(n) => n,
-        Err(message) => return fail(RunStatus::Failed(message)),
+    let netlist = {
+        let _s = sttlock_obs::span!("cell.generate");
+        match generate(&cell.circuit, cell.seed, pool, cancel) {
+            Ok(n) => n,
+            Err(message) => return fail(RunStatus::Failed(message)),
+        }
     };
+    if cancel.load(Ordering::SeqCst) {
+        return fail(RunStatus::TimedOut);
+    }
 
     // The key covers the cell descriptor and the generated circuit text,
     // so a generator change invalidates exactly the affected cells. The
@@ -364,9 +463,11 @@ fn run_cell(cell: &Cell, cache: Option<&Cache>, pool: &GenPool) -> RunRecord {
     let key = cell_key(&descriptor, &bench_format::write(&netlist));
     if let Some(cache) = cache {
         if let Some(mut hit) = cache.lookup(key) {
+            sttlock_obs::counter("campaign.cache_hit", 1);
             hit.cached = true;
             return hit;
         }
+        sttlock_obs::counter("campaign.cache_miss", 1);
     }
 
     let mut flow = Flow::new(Library::predictive_90nm());
@@ -376,10 +477,16 @@ fn run_cell(cell: &Cell, cache: Option<&Cache>, pool: &GenPool) -> RunRecord {
     if let Some(paths) = cell.overrides.parametric_paths {
         flow.selection.parametric_paths = Some(paths);
     }
-    let outcome = match flow.run_shared(&netlist, cell.algorithm, cell.seed) {
-        Ok(o) => o,
-        Err(e) => return fail(RunStatus::Failed(format!("flow failed: {e}"))),
+    let outcome = {
+        let _s = sttlock_obs::span!("cell.flow");
+        match flow.run_shared(&netlist, cell.algorithm, cell.seed) {
+            Ok(o) => o,
+            Err(e) => return fail(RunStatus::Failed(format!("flow failed: {e}"))),
+        }
     };
+    if cancel.load(Ordering::SeqCst) {
+        return fail(RunStatus::TimedOut);
+    }
     let report = &outcome.report;
     let flow_metrics = FlowMetrics {
         perf_pct: report.performance_degradation_pct,
@@ -400,6 +507,7 @@ fn run_cell(cell: &Cell, cache: Option<&Cache>, pool: &GenPool) -> RunRecord {
     let repair = if cell.fault.is_noop() {
         None
     } else {
+        let _s = sttlock_obs::span!("cell.repair");
         match run_fault(cell, &netlist, &outcome) {
             Ok(m) => Some(m),
             Err(message) => {
@@ -411,7 +519,11 @@ fn run_cell(cell: &Cell, cache: Option<&Cache>, pool: &GenPool) -> RunRecord {
             }
         }
     };
+    if cancel.load(Ordering::SeqCst) {
+        return fail(RunStatus::TimedOut);
+    }
 
+    let attack_span = sttlock_obs::span!("cell.attack", kind = cell.attack.tag());
     let attack_metrics = match run_attack(cell, &outcome.hybrid) {
         Ok(m) => m,
         Err(message) => {
@@ -425,6 +537,7 @@ fn run_cell(cell: &Cell, cache: Option<&Cache>, pool: &GenPool) -> RunRecord {
             return r;
         }
     };
+    drop(attack_span);
 
     let record = RunRecord {
         circuit: cell.circuit.name().to_owned(),
@@ -599,8 +712,18 @@ mod tests {
         assert!(result.records[1].status.is_ok(), "siblings keep going");
     }
 
+    /// Serializes tests that install an obs collector: the registry is
+    /// process-global.
+    fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
-    fn injected_timeout_is_recorded_and_bounded() {
+    fn injected_timeout_is_recorded_and_the_abandoned_thread_drains() {
+        let _guard = obs_lock();
+        let collector = sttlock_obs::TraceCollector::new();
+        sttlock_obs::install(collector.clone());
         let spec = CampaignSpec {
             timeout: Duration::from_millis(100),
             ..quick_spec(vec![CircuitSpec::InjectTimeout, small("survivor")])
@@ -612,6 +735,109 @@ mod tests {
         assert!(
             t0.elapsed() < Duration::from_secs(30),
             "the campaign must not wait for the runaway cell"
+        );
+        assert_eq!(collector.counter_value("campaign.timeout"), 1);
+        // The abandoned thread observes the cancel flag and winds down:
+        // the live-abandoned gauge must drain back to zero (on the seed
+        // code the thread slept for an hour and the gauge never moved).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while collector.gauge_value("campaign.abandoned_cells") != 0 {
+            assert!(
+                Instant::now() < deadline,
+                "abandoned cell thread never wound down"
+            );
+            thread::sleep(Duration::from_millis(10));
+        }
+        sttlock_obs::uninstall();
+    }
+
+    #[test]
+    fn a_cell_poisoning_the_pool_lock_does_not_sink_sibling_cells() {
+        let _guard = obs_lock();
+        let collector = sttlock_obs::TraceCollector::new();
+        sttlock_obs::install(collector.clone());
+        // jobs: 1 runs the grid in order: the poisoning cell panics while
+        // holding the generation-pool lock before any sibling touches it.
+        let spec = CampaignSpec {
+            jobs: 1,
+            ..quick_spec(vec![
+                CircuitSpec::InjectPoison,
+                small("poison-survivor-a"),
+                small("poison-survivor-b"),
+            ])
+        };
+        let result = execute(&spec);
+        sttlock_obs::uninstall();
+        assert_eq!(
+            result.records[0].status,
+            RunStatus::Panicked("injected poison cell".into())
+        );
+        assert!(
+            result.records[1].status.is_ok() && result.records[2].status.is_ok(),
+            "siblings must recover the poisoned lock, not abort: {:?}",
+            &result.records[1..]
+        );
+        assert!(collector.counter_value("campaign.poison_recovered") >= 1);
+    }
+
+    #[test]
+    fn resume_reruns_exactly_the_cell_with_a_torn_journal_line() {
+        let dir = std::env::temp_dir()
+            .join("sttlock-campaign-runner-tests")
+            .join(format!("{}-torn", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = dir.join("journal.jsonl");
+        let spec = CampaignSpec {
+            journal: Some(journal.clone()),
+            jobs: 1,
+            ..quick_spec(vec![small("torn-a"), small("torn-b"), small("torn-c")])
+        };
+        let first = execute(&spec);
+        assert_eq!(first.ok_count(), 3);
+        let journaled = std::fs::read_to_string(&journal).unwrap();
+        let lines: Vec<&str> = journaled.lines().collect();
+        assert_eq!(lines.len(), 3);
+
+        // Simulate a crash mid-append: stamp the intact records with a
+        // sentinel wall time, then cut the final line in half with no
+        // trailing newline.
+        let mut stamped = String::new();
+        for line in &lines[..2] {
+            let mut r = RunRecord::from_json(&Json::parse(line).unwrap()).unwrap();
+            r.wall_ms = 999_999;
+            stamped.push_str(&r.to_json().to_string());
+            stamped.push('\n');
+        }
+        stamped.push_str(&lines[2][..lines[2].len() / 2]);
+        std::fs::write(&journal, &stamped).unwrap();
+
+        let resumed = execute(&CampaignSpec {
+            resume: true,
+            ..spec.clone()
+        });
+        assert_eq!(resumed.records.len(), 3);
+        assert_eq!(resumed.records[0].wall_ms, 999_999, "intact line replays");
+        assert_eq!(resumed.records[1].wall_ms, 999_999, "intact line replays");
+        assert!(resumed.records[2].status.is_ok());
+        assert_ne!(
+            resumed.records[2].wall_ms, 999_999,
+            "the torn cell re-executes"
+        );
+
+        // The journal healed: the torn fragment was newline-terminated
+        // and exactly one fresh record line was appended after it, so a
+        // second resume replays all three cells verbatim.
+        let after = std::fs::read_to_string(&journal).unwrap();
+        assert_eq!(after.lines().count(), 4);
+        let second = execute(&CampaignSpec {
+            resume: true,
+            ..spec
+        });
+        assert!(second.records.iter().all(|r| r.status.is_ok()));
+        assert_eq!(
+            std::fs::read_to_string(&journal).unwrap().lines().count(),
+            4,
+            "a fully replayed resume appends nothing"
         );
     }
 

@@ -224,7 +224,8 @@ commands:
   faults   -i <programmed.bench>|--profile <name> [--algorithm indep|dep|para]
            [--seed N] [--write-p P] [--retention-p P] [--stuck0-p P]
            [--stuck1-p P] [--cmos-p P] [--retries N] [--batches N]
-           [--backoff-ms N] [--no-sat-proof]
+           [--backoff-ms N] [--max-backoff-ms N] [--no-sat-proof]
+           [--trace <file.jsonl>] [--trace-summary]
                                            inject STT faults, then verify
                                            and repair the programmed part
   campaign [--circuits all|<n1,n2,..>] [--max-gates N]
@@ -235,6 +236,7 @@ commands:
            [--journal <file.jsonl>] [--resume]
            [--table table1|table2|fig3|attacks|faults|all|none]
            [--inject-panic] [--inject-timeout]
+           [--trace <file.jsonl>] [--trace-summary]
                                            run a parallel experiment grid
   help                                     this text
 
@@ -578,8 +580,60 @@ fn cmd_attack(argv: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// Wires `--trace <file.jsonl>` / `--trace-summary` into a subcommand:
+/// installs a recording collector before the work runs and, on
+/// [`Trace::finish`], writes the JSONL export and/or appends the text
+/// summary to the command output. Dropping the guard (on any early
+/// error return) restores the zero-cost no-op collector.
+struct Trace {
+    collector: std::sync::Arc<sttlock_obs::TraceCollector>,
+    path: Option<String>,
+    summary: bool,
+}
+
+impl Trace {
+    fn start(args: &Args) -> Option<Trace> {
+        let path = args.get("trace").map(str::to_owned);
+        let summary = args.has("trace-summary");
+        if path.is_none() && !summary {
+            return None;
+        }
+        let collector = sttlock_obs::TraceCollector::new();
+        sttlock_obs::install(collector.clone());
+        Some(Trace {
+            collector,
+            path,
+            summary,
+        })
+    }
+
+    fn finish(self, out: &mut String) -> Result<(), CliError> {
+        sttlock_obs::uninstall();
+        if let Some(path) = &self.path {
+            fs::write(path, self.collector.to_jsonl()).map_err(|e| CliError::Io {
+                path: path.clone(),
+                message: e.to_string(),
+            })?;
+        }
+        if self.summary {
+            out.push('\n');
+            out.push_str(&self.collector.summary());
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Trace {
+    fn drop(&mut self) {
+        // Idempotent with the `finish` call; covers early `?` returns
+        // so a failed command never leaks an installed collector.
+        sttlock_obs::uninstall();
+    }
+}
+
 fn cmd_faults(argv: &[String]) -> Result<String, CliError> {
-    let args = Args::parse(argv, &["no-sat-proof"])?;
+    let args = Args::parse(argv, &["no-sat-proof", "trace-summary"])?;
+    let trace = Trace::start(&args);
     let seed = args.get_u64("seed", 42)?;
     let model = FaultModel {
         write_failure_p: args.get_f64("write-p", 0.0)?,
@@ -592,6 +646,7 @@ fn cmd_faults(argv: &[String]) -> Result<String, CliError> {
         random_batches: args.get_u64("batches", 8)? as usize,
         max_retries: args.get_u64("retries", 5)? as usize,
         backoff_base: std::time::Duration::from_millis(args.get_u64("backoff-ms", 0)?),
+        max_backoff: std::time::Duration::from_millis(args.get_u64("max-backoff-ms", 60_000)?),
         sat_proof: !args.has("no-sat-proof"),
     };
 
@@ -688,6 +743,9 @@ fn cmd_faults(argv: &[String]) -> Result<String, CliError> {
             faulted.n_bf, baseline.n_bf
         ));
     }
+    if let Some(trace) = trace {
+        trace.finish(&mut out)?;
+    }
     Ok(out)
 }
 
@@ -743,7 +801,10 @@ fn parse_circuit(item: &str) -> Result<CircuitSpec, CliError> {
 }
 
 fn cmd_campaign(argv: &[String]) -> Result<String, CliError> {
-    let args = Args::parse(argv, &["inject-panic", "inject-timeout", "resume"])?;
+    let args = Args::parse(
+        argv,
+        &["inject-panic", "inject-timeout", "resume", "trace-summary"],
+    )?;
     let max_gates = args.get_u64("max-gates", u64::MAX)? as usize;
 
     let mut circuits = match args.get("circuits") {
@@ -872,6 +933,7 @@ fn cmd_campaign(argv: &[String]) -> Result<String, CliError> {
         resume: args.has("resume"),
     };
 
+    let trace = Trace::start(&args);
     let result = sttlock_campaign::execute(&spec);
     if let Some(path) = args.get("out") {
         fs::write(path, result.to_jsonl()).map_err(|e| CliError::Io {
@@ -922,6 +984,9 @@ fn cmd_campaign(argv: &[String]) -> Result<String, CliError> {
         result.cache_hits(),
         result.wall.as_secs_f64(),
     ));
+    if let Some(trace) = trace {
+        trace.finish(&mut out)?;
+    }
     Ok(out)
 }
 
@@ -1282,6 +1347,92 @@ mod tests {
         assert!(first.contains("0 cached"), "{first}");
         let second = run(&args).unwrap();
         assert!(second.contains("1 cached"), "{second}");
+    }
+
+    /// The obs registry is process-global, so the two trace-flag tests
+    /// must not overlap each other (no other test installs a collector;
+    /// concurrent non-trace tests merely add extra spans, which the
+    /// `contains` assertions below tolerate).
+    fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn campaign_trace_exports_span_trees_and_a_summary() {
+        let _obs = obs_lock();
+        let trace = tmp("campaign-trace.jsonl");
+        let out = run(&argv(&[
+            "campaign",
+            "--circuits",
+            "traced:70:4:6:4",
+            "--algorithms",
+            "indep,para",
+            "--table",
+            "none",
+            "--trace",
+            &trace,
+            "--trace-summary",
+        ]))
+        .unwrap();
+        assert!(out.contains("== obs summary =="), "{out}");
+        assert!(out.contains("campaign.cell"), "{out}");
+        let text = fs::read_to_string(&trace).unwrap();
+        assert!(
+            text.lines().all(|l| l.starts_with('{') && l.ends_with('}')),
+            "{text}"
+        );
+        for name in [
+            "campaign.execute",
+            "campaign.cell",
+            "cell.generate",
+            "cell.flow",
+            "flow.selection",
+            "flow.replace",
+        ] {
+            assert!(
+                text.contains(&format!("\"name\":\"{name}\"")),
+                "missing span `{name}` in trace:\n{text}"
+            );
+        }
+        // The per-cell spans hang off the campaign.execute root even
+        // though the cells ran on worker threads.
+        let exec = text
+            .lines()
+            .find(|l| l.contains("\"name\":\"campaign.execute\""))
+            .unwrap();
+        let id = exec
+            .split("\"id\":")
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap();
+        assert!(
+            text.contains(&format!("\"parent\":{id},\"name\":\"campaign.cell\"")),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn faults_trace_summary_covers_the_repair_loop() {
+        let _obs = obs_lock();
+        let out = run(&argv(&[
+            "faults",
+            "--profile",
+            "s641",
+            "--algorithm",
+            "indep",
+            "--seed",
+            "7",
+            "--trace-summary",
+        ]))
+        .unwrap();
+        assert!(out.contains("== obs summary =="), "{out}");
+        assert!(out.contains("repair.round"), "{out}");
+        assert!(out.contains("repair.verify"), "{out}");
+        assert!(out.contains("flow.selection"), "{out}");
     }
 
     #[test]

@@ -160,13 +160,17 @@ impl Flow {
         let view = CircuitView::new(netlist);
         let base_timing = analyze_with(&view, &self.lib);
         let mut activity_rng = StdRng::seed_from_u64(seed ^ 0x5EED_AC71);
-        let activity = estimate_activity_with(&view, self.activity_cycles, &mut activity_rng)?;
+        let activity = {
+            let _s = sttlock_obs::span!("flow.activity", cycles = self.activity_cycles as u64);
+            estimate_activity_with(&view, self.activity_cycles, &mut activity_rng)?
+        };
         let base_power = analyze_power(netlist, &self.lib, &activity);
         let base_area = analyze_area(netlist, &self.lib);
 
         // Selection (timed: this is the Table II measurement). The
         // baseline analysis above seeds the selection's incremental
         // timing engine instead of being recomputed.
+        let sel_span = sttlock_obs::span!("flow.selection", algorithm = algorithm.to_string());
         let t0 = Instant::now();
         let selection = select::run_with_view(
             &view,
@@ -177,6 +181,7 @@ impl Flow {
             &base_timing,
         );
         let selection_time = t0.elapsed();
+        drop(sel_span);
         if selection.gates.is_empty() {
             return Err(FlowError::NothingSelected);
         }
@@ -184,8 +189,13 @@ impl Flow {
         // Replacement and hybrid analyses. The activity report indexes by
         // arena position, which replacement preserves; LUT power ignores
         // activity anyway (it is content- and activity-independent).
-        let replaced = replace::apply_overlay(base.clone(), &selection);
-        let hybrid = replaced.overlay.materialize();
+        let (replaced, hybrid) = {
+            let _s = sttlock_obs::span!("flow.replace", gates = selection.gates.len() as u64);
+            let replaced = replace::apply_overlay(base.clone(), &selection);
+            let hybrid = replaced.overlay.materialize();
+            (replaced, hybrid)
+        };
+        let _analysis = sttlock_obs::span!("flow.analysis");
         let hybrid_timing = analyze(&hybrid, &self.lib);
         let hybrid_power = analyze_power(&hybrid, &self.lib, &activity);
         let hybrid_area = analyze_area(&hybrid, &self.lib);
@@ -221,10 +231,16 @@ pub struct RepairConfig {
     /// budget. `0` means verify only, never repair.
     pub max_retries: usize,
     /// Base of the exponential backoff between re-programming rounds:
-    /// round `r` sleeps `backoff_base * 2^r`. The default is zero (no
-    /// sleeping), which is what tests and campaigns want; a real
-    /// programmer would set the device's write-recovery time.
+    /// round `r` sleeps `min(backoff_base * 2^r, max_backoff)`. The
+    /// default is zero (no sleeping), which is what tests and campaigns
+    /// want; a real programmer would set the device's write-recovery
+    /// time.
     pub backoff_base: Duration,
+    /// Ceiling on any single backoff sleep. The doubling in
+    /// [`backoff_base`](RepairConfig::backoff_base) saturates here, so
+    /// a large retry budget can neither overflow the multiply nor sleep
+    /// unboundedly. Defaults to 60 seconds.
+    pub max_backoff: Duration,
     /// Close a clean random verify with a SAT equivalence proof. When a
     /// counterexample exists it is replayed as a targeted vector, so
     /// faults too subtle for random patterns still get localized.
@@ -237,6 +253,7 @@ impl Default for RepairConfig {
             random_batches: 8,
             max_retries: 5,
             backoff_base: Duration::ZERO,
+            max_backoff: Duration::from_secs(60),
             sat_proof: true,
         }
     }
@@ -321,11 +338,13 @@ impl RepairReport {
 /// counterexample, if any, becomes a new targeted vector. Mismatching
 /// observation points are localized to bitstream LUTs through fan-out
 /// cone queries, and each implicated LUT is re-written through the
-/// channel with exponential backoff between rounds. The loop degrades
-/// gracefully: it returns a [`RepairReport`] with a
-/// [`Degraded`](RepairVerdict::Degraded) or
+/// channel with exponential backoff between rounds (doubling from
+/// [`RepairConfig::backoff_base`], saturating at
+/// [`RepairConfig::max_backoff`] so the schedule can neither overflow
+/// nor sleep unboundedly). The loop degrades gracefully: it returns a
+/// [`RepairReport`] with a [`Degraded`](RepairVerdict::Degraded) or
 /// [`Unrecoverable`](RepairVerdict::Unrecoverable) verdict instead of
-/// panicking or retrying forever.
+/// retrying forever.
 ///
 /// # Errors
 ///
@@ -372,6 +391,7 @@ pub fn verify_and_repair(
     let mut last_mismatches = 0usize;
 
     for round in 0..=cfg.max_retries {
+        let mut round_span = sttlock_obs::span!("repair.round", round = round as u64);
         let materialized = device.materialize();
         let mut device_sim = Simulator::with_order(&materialized, Arc::clone(&order))
             .map_err(|e| FlowError::Verification(format!("device is not simulatable: {e}")))?;
@@ -386,21 +406,25 @@ pub fn verify_and_repair(
             let st: Vec<u64> = (0..n_state).map(|_| rng.gen()).collect();
             frames.push((ins, st));
         }
-        for (ins, st) in &frames {
-            diff_frame(
-                &mut golden_sim,
-                &mut device_sim,
-                &points,
-                ins,
-                st,
-                &mut failing,
-            )?;
-            vectors_run += 64;
+        {
+            let _verify = sttlock_obs::span!("repair.verify", frames = frames.len() as u64);
+            for (ins, st) in &frames {
+                diff_frame(
+                    &mut golden_sim,
+                    &mut device_sim,
+                    &points,
+                    ins,
+                    st,
+                    &mut failing,
+                )?;
+                vectors_run += 64;
+            }
         }
 
         if failing.is_empty() && cfg.sat_proof {
             // Random patterns saw nothing; ask the SAT engine for a
             // counterexample frame before declaring victory.
+            let _sat = sttlock_obs::span!("repair.sat_proof");
             match check_equivalence(golden, &materialized) {
                 Ok(EquivResult::Equivalent) => {}
                 Ok(EquivResult::Different { inputs, state }) => {
@@ -433,6 +457,10 @@ pub fn verify_and_repair(
         }
 
         let mismatches = failing.len();
+        round_span.record(
+            "mismatches",
+            sttlock_obs::FieldValue::from(mismatches as u64),
+        );
         if initial_mismatches.is_none() {
             initial_mismatches = Some(mismatches);
         }
@@ -464,16 +492,21 @@ pub fn verify_and_repair(
             })
             .collect();
         ever_suspected.extend(suspects.iter().copied());
+        round_span.record(
+            "suspects",
+            sttlock_obs::FieldValue::from(suspects.len() as u64),
+        );
         last_suspects = suspects.clone();
 
         if suspects.is_empty() || round == cfg.max_retries {
             break;
         }
 
-        // Re-program every suspect through the channel, with exponential
-        // backoff before each retry round.
-        let backoff = cfg.backoff_base * 2u32.saturating_pow(round as u32);
+        // Re-program every suspect through the channel, with clamped
+        // exponential backoff before each retry round.
+        let backoff = backoff_for_round(cfg, round as u32);
         if !backoff.is_zero() {
+            sttlock_obs::counter("repair.backoff_sleeps", 1);
             std::thread::sleep(backoff);
         }
         for &id in &suspects {
@@ -483,6 +516,7 @@ pub fn verify_and_repair(
             let stored = channel.write(id, table);
             device.set_lut_config(id, stored);
             reprogram_attempts += 1;
+            sttlock_obs::counter("repair.reprogram_writes", 1);
         }
     }
 
@@ -503,6 +537,15 @@ pub fn verify_and_repair(
         repaired_luts: names_of(golden, ever_suspected.difference(&failed).copied()),
         failed_luts: names_of(golden, failed.iter().copied()),
     })
+}
+
+/// The backoff slept before retry round `round`: `backoff_base * 2^round`
+/// computed with `checked_mul` and clamped to `cfg.max_backoff`, so no
+/// (base, round) combination can overflow `Duration`'s panicking `Mul`.
+fn backoff_for_round(cfg: &RepairConfig, round: u32) -> Duration {
+    cfg.backoff_base
+        .checked_mul(2u32.saturating_pow(round))
+        .map_or(cfg.max_backoff, |d| d.min(cfg.max_backoff))
 }
 
 /// Evaluates one full-scan frame on both designs and records every
@@ -688,6 +731,57 @@ mod tests {
             .contains(&n.node_name(victim).to_owned()));
         // The repaired device really stores the intended table.
         assert_eq!(device.lut_config(victim), Some(table));
+    }
+
+    #[test]
+    fn backoff_schedule_clamps_instead_of_overflowing() {
+        // Seed code computed `backoff_base * 2^round` through Duration's
+        // panicking `Mul`; with this base, round 1 already overflows.
+        let cfg = RepairConfig {
+            backoff_base: Duration::MAX / 2,
+            ..RepairConfig::default()
+        };
+        for round in 0..64 {
+            assert!(backoff_for_round(&cfg, round) <= cfg.max_backoff);
+        }
+        // The un-clamped region of the schedule still doubles.
+        let cfg = RepairConfig {
+            backoff_base: Duration::from_millis(3),
+            ..RepairConfig::default()
+        };
+        assert_eq!(backoff_for_round(&cfg, 0), Duration::from_millis(3));
+        assert_eq!(backoff_for_round(&cfg, 2), Duration::from_millis(12));
+        assert_eq!(backoff_for_round(&cfg, u32::MAX), cfg.max_backoff);
+    }
+
+    #[test]
+    fn huge_backoff_base_cannot_stall_or_panic_the_repair_loop() {
+        // A fault that needs at least one retry round, driven with the
+        // pathological base from the overflow report. On seed code this
+        // test slept `Duration::MAX / 2` before the first re-program (and
+        // would have panicked in the round-1 multiply); with the clamp it
+        // completes in milliseconds.
+        let n = circuit();
+        let flow = Flow::new(Library::predictive_90nm());
+        let out = flow
+            .run(&n, SelectionAlgorithm::ParametricAware, 9)
+            .unwrap();
+        let (victim, table) = out.bitstream[0];
+        let mut device = out.overlay.clone();
+        device.set_lut_config(
+            victim,
+            sttlock_netlist::TruthTable::new(table.inputs(), table.bits() ^ 1),
+        );
+        let cfg = RepairConfig {
+            backoff_base: Duration::MAX / 2,
+            max_backoff: Duration::from_millis(1),
+            ..RepairConfig::default()
+        };
+        let mut channel = sttlock_fault::PerfectChannel;
+        let report =
+            verify_and_repair(&n, &mut device, &out.bitstream, &mut channel, &cfg, 1).unwrap();
+        assert_eq!(report.verdict, RepairVerdict::Recovered, "{report:?}");
+        assert!(report.retries >= 1);
     }
 
     #[test]

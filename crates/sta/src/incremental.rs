@@ -30,6 +30,38 @@ use sttlock_techlib::Library;
 
 use crate::{node_delay, source_arrival, TimingAnalysis};
 
+/// Local instrumentation tallies, flushed as `sta.*` obs counters when
+/// the engine drops. Counting locally keeps the propagation loop free
+/// of per-event atomic loads; the flush is three counter calls total.
+#[derive(Debug, Default)]
+struct ObsStats {
+    /// `set_delay` calls whose delay actually changed.
+    invalidations: u64,
+    /// Fanout-cone nodes re-evaluated across all propagations.
+    node_reevals: u64,
+    /// Re-evaluations whose arrival was unchanged (wave stopped there).
+    early_terminations: u64,
+}
+
+impl Clone for ObsStats {
+    fn clone(&self) -> Self {
+        // Clones (batch_eval workers) tally their own work from zero;
+        // copying would double-flush the parent's counts.
+        ObsStats::default()
+    }
+}
+
+impl Drop for ObsStats {
+    fn drop(&mut self) {
+        if self.invalidations == 0 && self.node_reevals == 0 {
+            return;
+        }
+        sttlock_obs::counter("sta.invalidations", self.invalidations);
+        sttlock_obs::counter("sta.node_reevals", self.node_reevals);
+        sttlock_obs::counter("sta.early_terminations", self.early_terminations);
+    }
+}
+
 /// Total-ordered `f64` wrapper so endpoint times can live in a heap.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct OrdF64(f64);
@@ -93,6 +125,8 @@ pub struct IncrementalSta<'a> {
     /// Epoch stamps deduplicating pushes within one propagation.
     epoch_mark: Vec<u64>,
     epoch: u64,
+    /// Invalidation/re-eval tallies, flushed to obs on drop.
+    stats: ObsStats,
 }
 
 impl<'a> IncrementalSta<'a> {
@@ -194,6 +228,7 @@ impl<'a> IncrementalSta<'a> {
             heap: BinaryHeap::new(),
             epoch_mark: vec![0; n],
             epoch: 0,
+            stats: ObsStats::default(),
         }
     }
 
@@ -253,12 +288,14 @@ impl<'a> IncrementalSta<'a> {
             return;
         }
         self.delay[id.index()] = delay_ns;
+        self.stats.invalidations += 1;
 
         self.epoch += 1;
         let mut frontier: BinaryHeap<Reverse<(usize, NodeId)>> = BinaryHeap::new();
         self.epoch_mark[id.index()] = self.epoch;
         frontier.push(Reverse((self.topo_pos[id.index()], id)));
         while let Some(Reverse((_, nid))) = frontier.pop() {
+            self.stats.node_reevals += 1;
             let node = self.netlist.node(nid);
             let input_arrival = node
                 .fanin()
@@ -267,6 +304,7 @@ impl<'a> IncrementalSta<'a> {
                 .fold(0.0f64, f64::max);
             let new_arrival = input_arrival + self.delay[nid.index()];
             if new_arrival.to_bits() == self.arrival[nid.index()].to_bits() {
+                self.stats.early_terminations += 1;
                 continue; // early termination: this branch is settled
             }
             self.arrival[nid.index()] = new_arrival;
@@ -564,6 +602,26 @@ mod tests {
         a.swap_to_lut(g1);
         b.swap_to_lut(g1);
         assert_eq!(a.clock_period_ns().to_bits(), b.clock_period_ns().to_bits());
+    }
+
+    #[test]
+    fn dropping_the_engine_flushes_invalidation_counters_to_obs() {
+        let collector = sttlock_obs::TraceCollector::new();
+        sttlock_obs::install(collector.clone());
+        {
+            let n = circuit();
+            let l = lib();
+            let mut inc = IncrementalSta::new(&n, &l);
+            let g1 = n.find("g1").unwrap();
+            inc.swap_to_lut(g1);
+            inc.restore_gate(g1, GateKind::Nand);
+            let _ = inc.clock_period_ns();
+        }
+        sttlock_obs::uninstall();
+        // Two delay changes propagated through g1's cone (concurrent
+        // tests may add more — the registry is process-global).
+        assert!(collector.counter_value("sta.invalidations") >= 2);
+        assert!(collector.counter_value("sta.node_reevals") >= 2);
     }
 
     #[test]
