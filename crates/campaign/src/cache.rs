@@ -83,10 +83,27 @@ impl Cache {
         self.dir.join(format!("{}.json", key.hex()))
     }
 
+    /// Looks up a raw text entry. Unreadable entries read as misses.
+    ///
+    /// This is the reusable face of the cache: the serve layer stores
+    /// whole response bodies under its own descriptors, sharing the
+    /// keying scheme ([`cell_key`]) and directory layout with the
+    /// campaign's record cache.
+    pub fn lookup_text(&self, key: CacheKey) -> Option<String> {
+        fs::read_to_string(self.path(key)).ok()
+    }
+
+    /// Stores a raw text entry under `key`. Write failures are
+    /// swallowed: the cache is an accelerator, never a correctness
+    /// dependency.
+    pub fn store_text(&self, key: CacheKey, text: &str) {
+        let _ = fs::write(self.path(key), text);
+    }
+
     /// Looks up a cached record. Corrupt or unreadable entries read as
     /// misses.
     pub fn lookup(&self, key: CacheKey) -> Option<RunRecord> {
-        let text = fs::read_to_string(self.path(key)).ok()?;
+        let text = self.lookup_text(key)?;
         RunRecord::from_json(&Json::parse(&text).ok()?)
     }
 
@@ -96,7 +113,7 @@ impl Cache {
         if !record.status.is_ok() {
             return;
         }
-        let _ = fs::write(self.path(key), record.to_json().to_string());
+        self.store_text(key, &record.to_json().to_string());
     }
 }
 
@@ -159,6 +176,18 @@ mod tests {
             cache.store(key, &RunRecord::failure("c", "a", 1, "none", status));
             assert_eq!(cache.lookup(key), None);
         }
+    }
+
+    #[test]
+    fn raw_text_entries_round_trip_and_miss_when_absent() {
+        let cache = tmp_cache("raw");
+        let key = cell_key("serve.harden|v1|independent|7", "INPUT(a)\n");
+        assert_eq!(cache.lookup_text(key), None);
+        cache.store_text(key, "{\"cached\":false}");
+        assert_eq!(cache.lookup_text(key), Some("{\"cached\":false}".into()));
+        // Raw entries and record entries share the namespace on
+        // purpose — distinct descriptors keep them apart.
+        assert_ne!(key, cell_key("other", "INPUT(a)\n"));
     }
 
     #[test]

@@ -74,38 +74,74 @@ pub fn render_table1(records: &[RunRecord], seed: u64) -> String {
 
     let mut sums = [[0.0f64; 3]; 3]; // [metric][algorithm]
     let mut counts = [0.0f64; 3];
+    let mut present = [0usize; 3]; // rows contributing to each algorithm
     let mut n_rows = 0usize;
 
+    // A missing cell (errored, timed out, or not part of the grid at
+    // all) renders as a blank column and is excluded from its
+    // algorithm's average, instead of polluting both with zeros.
+    let f2 = |v: Option<f64>, width: usize| match v {
+        Some(x) => format!("{x:>width$.2}"),
+        None => format!("{:>width$}", ""),
+    };
+    let fstt = |v: Option<usize>| match v {
+        Some(n) => format!("{n:>5}"),
+        None => format!("{:>5}", ""),
+    };
+    let favg1 = |v: Option<f64>| match v {
+        Some(x) => format!("{x:>5.1}"),
+        None => format!("{:>5}", ""),
+    };
+
     for row in rows(records) {
-        let m: Vec<FlowMetrics> = row.by_alg.iter().map(|f| f.unwrap_or_default()).collect();
+        let m = |a: usize| row.by_alg[a];
         out.push_str(&format!(
-            "{:<9} | {:>6.2} {:>6.2} {:>6.2} | {:>7.2} {:>7.2} {:>7.2} | {:>6.2} {:>6.2} {:>6.2} | {:>5} {:>5} {:>5} | {:>7}\n",
+            "{:<9} | {} {} {} | {} {} {} | {} {} {} | {} {} {} | {:>7}\n",
             row.circuit,
-            m[0].perf_pct, m[1].perf_pct, m[2].perf_pct,
-            m[0].power_pct, m[1].power_pct, m[2].power_pct,
-            m[0].area_pct, m[1].area_pct, m[2].area_pct,
-            m[0].stt_count, m[1].stt_count, m[2].stt_count,
+            f2(m(0).map(|m| m.perf_pct), 6),
+            f2(m(1).map(|m| m.perf_pct), 6),
+            f2(m(2).map(|m| m.perf_pct), 6),
+            f2(m(0).map(|m| m.power_pct), 7),
+            f2(m(1).map(|m| m.power_pct), 7),
+            f2(m(2).map(|m| m.power_pct), 7),
+            f2(m(0).map(|m| m.area_pct), 6),
+            f2(m(1).map(|m| m.area_pct), 6),
+            f2(m(2).map(|m| m.area_pct), 6),
+            fstt(m(0).map(|m| m.stt_count)),
+            fstt(m(1).map(|m| m.stt_count)),
+            fstt(m(2).map(|m| m.stt_count)),
             row.gates,
         ));
         for a in 0..3 {
-            sums[0][a] += m[a].perf_pct;
-            sums[1][a] += m[a].power_pct;
-            sums[2][a] += m[a].area_pct;
-            counts[a] += m[a].stt_count as f64;
+            if let Some(m) = row.by_alg[a] {
+                sums[0][a] += m.perf_pct;
+                sums[1][a] += m.power_pct;
+                sums[2][a] += m.area_pct;
+                counts[a] += m.stt_count as f64;
+                present[a] += 1;
+            }
         }
         n_rows += 1;
     }
 
     if n_rows > 0 {
-        let n = n_rows as f64;
+        let n = |a: usize| (present[a] > 0).then(|| present[a] as f64);
         out.push_str(&format!("{}\n", "-".repeat(118)));
         out.push_str(&format!(
-            "{:<9} | {:>6.2} {:>6.2} {:>6.2} | {:>7.2} {:>7.2} {:>7.2} | {:>6.2} {:>6.2} {:>6.2} | {:>5.1} {:>5.1} {:>5.1} |\n",
+            "{:<9} | {} {} {} | {} {} {} | {} {} {} | {} {} {} |\n",
             "Average",
-            sums[0][0] / n, sums[0][1] / n, sums[0][2] / n,
-            sums[1][0] / n, sums[1][1] / n, sums[1][2] / n,
-            sums[2][0] / n, sums[2][1] / n, sums[2][2] / n,
-            counts[0] / n, counts[1] / n, counts[2] / n,
+            f2(n(0).map(|n| sums[0][0] / n), 6),
+            f2(n(1).map(|n| sums[0][1] / n), 6),
+            f2(n(2).map(|n| sums[0][2] / n), 6),
+            f2(n(0).map(|n| sums[1][0] / n), 7),
+            f2(n(1).map(|n| sums[1][1] / n), 7),
+            f2(n(2).map(|n| sums[1][2] / n), 7),
+            f2(n(0).map(|n| sums[2][0] / n), 6),
+            f2(n(1).map(|n| sums[2][1] / n), 6),
+            f2(n(2).map(|n| sums[2][2] / n), 6),
+            favg1(n(0).map(|n| counts[0] / n)),
+            favg1(n(1).map(|n| counts[1] / n)),
+            favg1(n(2).map(|n| counts[2] / n)),
         ));
         out.push('\n');
         out.push_str("Paper (Table I) averages for comparison:\n");
@@ -139,7 +175,13 @@ pub fn render_table2(records: &[RunRecord], seed: u64) -> String {
             .by_alg
             .iter()
             .map(|f| match f {
-                Some(m) => fmt_mmss(Duration::from_secs_f64(m.selection_ms / 1e3)),
+                // Journals can be hand-edited or torn mid-float; a
+                // negative, NaN or absurd selection time must render a
+                // placeholder, not panic `Duration::from_secs_f64`.
+                Some(m) if m.selection_ms.is_finite() && (0.0..=1e15).contains(&m.selection_ms) => {
+                    fmt_mmss(Duration::from_secs_f64(m.selection_ms / 1e3))
+                }
+                Some(_) => "(invalid)".to_owned(),
                 None => "(failed)".to_owned(),
             })
             .collect();
@@ -486,6 +528,64 @@ mod tests {
         second.seed = 43;
         let records = vec![record("s27", SelectionAlgorithm::Independent, 5), second];
         let text = render_table1(&records, 42);
-        assert!(text.contains("    5     0     0"), "{text}");
+        assert!(text.contains("    5"), "first seed's count renders: {text}");
+        assert!(!text.contains("    9"), "later seeds are ignored: {text}");
+    }
+
+    #[test]
+    fn table1_blanks_missing_cells_and_averages_only_present_ones() {
+        // s27 has all three algorithms; s298's dependent cell failed
+        // (status row only, no flow metrics). Pre-fix, the missing cell
+        // rendered default zeros and dragged the dependent averages to
+        // half their true value.
+        let mut records = grid();
+        let dependent = SelectionAlgorithm::Dependent.to_string();
+        records.retain(|r| !(r.circuit == "s298" && r.algorithm == dependent));
+        records.push(RunRecord::failure(
+            "s298",
+            &dependent,
+            42,
+            "none",
+            RunStatus::Failed("flow failed: injected".into()),
+        ));
+        let text = render_table1(&records, 42);
+        assert!(
+            !text.contains("0.00"),
+            "missing cells must be blank, not zero: {text}"
+        );
+        // Every present cell carries identical metrics, so each average
+        // must equal the cell value even with s298's dependent column
+        // absent (pre-fix the dependent perf average read 0.75).
+        assert!(text.contains("Average   |   1.50   1.50   1.50"), "{text}");
+    }
+
+    #[test]
+    fn table1_with_zero_present_cells_for_an_algorithm_stays_blank() {
+        // A single-algorithm grid: the other two columns have no cells
+        // anywhere, so their averages must be blank, not 0/0 artifacts.
+        let records = vec![
+            record("s27", SelectionAlgorithm::Independent, 5),
+            record("s298", SelectionAlgorithm::Independent, 7),
+        ];
+        let text = render_table1(&records, 1);
+        assert!(!text.contains("NaN"), "{text}");
+        assert!(!text.contains("0.00"), "{text}");
+        assert!(text.contains("Average   |   1.50  "), "{text}");
+    }
+
+    #[test]
+    fn table2_renders_placeholders_for_corrupt_selection_times() {
+        // Negative, NaN or absurd selection times replay verbatim from
+        // hand-edited resume journals; pre-fix each of these panicked
+        // inside Duration::from_secs_f64.
+        let mut neg = record("s27", SelectionAlgorithm::Independent, 5);
+        neg.flow.as_mut().unwrap().selection_ms = -1500.0;
+        let mut nan = record("s298", SelectionAlgorithm::Dependent, 5);
+        nan.flow.as_mut().unwrap().selection_ms = f64::NAN;
+        let mut huge = record("s344", SelectionAlgorithm::ParametricAware, 5);
+        huge.flow.as_mut().unwrap().selection_ms = 1e300;
+        let text = render_table2(&[neg, nan, huge], 1);
+        assert_eq!(text.matches("(invalid)").count(), 3, "{text}");
+        assert!(text.contains("(failed)"), "absent cells keep their tag");
     }
 }

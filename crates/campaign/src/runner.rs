@@ -172,47 +172,85 @@ pub fn execute(spec: &CampaignSpec) -> CampaignResult {
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(cell) = cells.get(i) else { break };
-                    let mut cell_span = sttlock_obs::span!(
-                        "campaign.cell",
-                        circuit = cell.circuit.name(),
-                        algorithm = cell.algorithm.to_string(),
-                        seed = cell.seed,
-                        queue_us = start.elapsed().as_micros() as u64,
-                    );
-                    let record = match replay.get(&cell_journal_key(cell)) {
-                        Some(done) if done.status.is_ok() => {
-                            cell_span.record("replayed", true);
-                            done.clone()
-                        }
-                        _ => {
-                            let r = run_cell_isolated(cell, spec.timeout, cache.as_ref(), &pool);
-                            if let Some(journal) = &journal {
-                                let mut file = recover_lock(journal);
-                                let _ = writeln!(file, "{}", r.to_json());
-                                let _ = file.flush();
+                    // The cell body is isolated by `run_cell_isolated`;
+                    // this outer guard covers the worker's own
+                    // bookkeeping (span close, journal append, slot
+                    // fill), where a panic — e.g. a collector sink
+                    // throwing on span close — must cost at most this
+                    // one slot, not unwind the whole scope.
+                    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                        let mut cell_span = sttlock_obs::span!(
+                            "campaign.cell",
+                            circuit = cell.circuit.name(),
+                            algorithm = cell.algorithm.to_string(),
+                            seed = cell.seed,
+                            queue_us = start.elapsed().as_micros() as u64,
+                        );
+                        let record = match replay.get(&cell_journal_key(cell)) {
+                            Some(done) if done.status.is_ok() => {
+                                cell_span.record("replayed", true);
+                                done.clone()
                             }
-                            r
-                        }
-                    };
-                    cell_span.record("status", record.status.tag());
-                    drop(cell_span);
-                    recover_lock(&slots)[i] = Some(record);
+                            _ => {
+                                let r =
+                                    run_cell_isolated(cell, spec.timeout, cache.as_ref(), &pool);
+                                if let Some(journal) = &journal {
+                                    let mut file = recover_lock(journal);
+                                    let _ = writeln!(file, "{}", r.to_json());
+                                    let _ = file.flush();
+                                }
+                                r
+                            }
+                        };
+                        cell_span.record("status", record.status.tag());
+                        drop(cell_span);
+                        recover_lock(&slots)[i] = Some(record);
+                    }));
+                    if outcome.is_err() {
+                        sttlock_obs::counter("campaign.worker_panic", 1);
+                    }
                 }
             });
         }
     });
     drop(root);
 
-    let records = slots
-        .into_inner()
-        .unwrap_or_else(PoisonError::into_inner)
-        .into_iter()
-        .map(|r| r.expect("every cell produces a record"))
-        .collect();
+    let slots = slots.into_inner().unwrap_or_else(PoisonError::into_inner);
     CampaignResult {
-        records,
+        records: finalize_records(&cells, slots),
         wall: start.elapsed(),
     }
+}
+
+/// Pairs each grid cell with its result slot. A worker that died
+/// between claiming a cell and filling its slot (the cell body is
+/// isolated, but the worker's own bookkeeping can still unwind) leaves
+/// a `None`; that becomes a structured failure record instead of an
+/// abort, so the grid invariant — one record per cell, in grid order —
+/// holds unconditionally. Each synthesized record is counted as
+/// `campaign.lost_records`.
+fn finalize_records(cells: &[Cell], slots: Vec<Option<RunRecord>>) -> Vec<RunRecord> {
+    cells
+        .iter()
+        .zip(slots)
+        .map(|(cell, slot)| {
+            slot.unwrap_or_else(|| {
+                sttlock_obs::counter("campaign.lost_records", 1);
+                let mut r = RunRecord::failure(
+                    cell.circuit.name(),
+                    &cell.algorithm.to_string(),
+                    cell.seed,
+                    cell.attack.tag(),
+                    RunStatus::Failed("worker thread died before recording this cell".to_owned()),
+                );
+                r.config = cell.overrides.descriptor();
+                if !cell.fault.is_noop() {
+                    r.fault = cell.fault.descriptor();
+                }
+                r
+            })
+        })
+        .collect()
 }
 
 /// Runs one cell on a detached thread with a wall-clock budget.
@@ -839,6 +877,98 @@ mod tests {
             4,
             "a fully replayed resume appends nothing"
         );
+    }
+
+    #[test]
+    fn a_worker_dying_after_the_cell_still_yields_a_full_record_set() {
+        let _guard = obs_lock();
+        // A collector whose span-close sink panics for one specific
+        // cell: the close fires between the cell producing its record
+        // and the worker filling the result slot, so on the pre-fix
+        // code the slot stayed empty and collection aborted the whole
+        // campaign with "every cell produces a record".
+        struct Bomb;
+        impl sttlock_obs::Collector for Bomb {
+            fn span_close(&self, span: &sttlock_obs::SpanData) {
+                if span.name == "campaign.cell"
+                    && span.fields.iter().any(|(k, v)| {
+                        *k == "circuit"
+                            && matches!(v, sttlock_obs::FieldValue::Str(s) if s == "bombed")
+                    })
+                {
+                    panic!("collector bomb");
+                }
+            }
+            fn counter_add(&self, _: &'static str, _: u64) {}
+            fn gauge_add(&self, _: &'static str, _: i64) {}
+            fn observe_us(&self, _: &'static str, _: u64) {}
+        }
+        sttlock_obs::install(Arc::new(Bomb));
+        let spec = CampaignSpec {
+            jobs: 1,
+            ..quick_spec(vec![small("bombed"), small("bomb-survivor")])
+        };
+        let result = execute(&spec);
+        sttlock_obs::uninstall();
+        assert_eq!(result.records.len(), 2, "one record per cell, no abort");
+        assert_eq!(result.records[0].circuit, "bombed");
+        assert!(
+            matches!(&result.records[0].status, RunStatus::Failed(m) if m.contains("worker")),
+            "lost slots synthesize a structured failure: {:?}",
+            result.records[0].status
+        );
+        assert!(
+            result.records[1].status.is_ok(),
+            "the worker keeps draining cells after the panic: {:?}",
+            result.records[1].status
+        );
+    }
+
+    #[test]
+    fn empty_slots_synthesize_failure_records_in_grid_order() {
+        let spec = quick_spec(vec![small("kept"), small("lost")]);
+        let cells = spec.cells();
+        let kept = RunRecord::failure("kept", "independent", 3, "none", RunStatus::Ok);
+        let records = finalize_records(&cells, vec![Some(kept.clone()), None]);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], kept);
+        assert_eq!(records[1].circuit, "lost");
+        assert_eq!(records[1].seed, 3);
+        assert!(matches!(&records[1].status, RunStatus::Failed(m) if m.contains("worker")));
+    }
+
+    #[test]
+    fn resume_with_a_corrupt_journal_selection_time_renders_a_placeholder() {
+        let dir = std::env::temp_dir()
+            .join("sttlock-campaign-runner-tests")
+            .join(format!("{}-corrupt-render", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = dir.join("journal.jsonl");
+        let spec = CampaignSpec {
+            journal: Some(journal.clone()),
+            jobs: 1,
+            ..quick_spec(vec![small("corrupt-t2")])
+        };
+        let first = execute(&spec);
+        assert_eq!(first.ok_count(), 1);
+
+        // Hand-corrupt the journaled record the way a bad edit or torn
+        // float does: a negative selection time. Resume replays `ok`
+        // records verbatim, so the corrupt value reaches the renderer —
+        // which pre-fix panicked inside `Duration::from_secs_f64`.
+        let line = std::fs::read_to_string(&journal).unwrap();
+        let mut r =
+            RunRecord::from_json(&Json::parse(line.lines().next().unwrap()).unwrap()).unwrap();
+        r.flow.as_mut().unwrap().selection_ms = -250.0;
+        std::fs::write(&journal, format!("{}\n", r.to_json())).unwrap();
+
+        let resumed = execute(&CampaignSpec {
+            resume: true,
+            ..spec
+        });
+        assert_eq!(resumed.records[0].flow.unwrap().selection_ms, -250.0);
+        let table = crate::render::render_table2(&resumed.records, 3);
+        assert!(table.contains("(invalid)"), "{table}");
     }
 
     #[test]

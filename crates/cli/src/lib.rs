@@ -238,6 +238,17 @@ commands:
            [--inject-panic] [--inject-timeout]
            [--trace <file.jsonl>] [--trace-summary]
                                            run a parallel experiment grid
+  serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]
+           [--request-timeout-ms N] [--cache-dir <dir>]
+           [--max-body-bytes N] [--debug-endpoints]
+           [--trace <file.jsonl>]
+                                           run the HTTP harden/attack
+                                           service (POST /v1/harden,
+                                           POST /v1/attack, GET /healthz,
+                                           GET /metrics; stop with
+                                           POST /admin/shutdown, a
+                                           `quit` line on stdin, or
+                                           Ctrl-D at a terminal)
   help                                     this text
 
 netlist files: .bench (ISCAS'89) or .v (structural subset)
@@ -284,6 +295,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "attack" => cmd_attack(rest),
         "faults" => cmd_faults(rest),
         "campaign" => cmd_campaign(rest),
+        "serve" => cmd_serve(rest),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}` (try `sttlock-cli help`)"
         ))),
@@ -341,14 +353,7 @@ fn cmd_optimize(argv: &[String]) -> Result<String, CliError> {
 }
 
 fn parse_algorithm(s: &str) -> Result<SelectionAlgorithm, CliError> {
-    match s {
-        "indep" | "independent" => Ok(SelectionAlgorithm::Independent),
-        "dep" | "dependent" => Ok(SelectionAlgorithm::Dependent),
-        "para" | "parametric" | "parametric-aware" => Ok(SelectionAlgorithm::ParametricAware),
-        other => Err(CliError::Usage(format!(
-            "unknown algorithm `{other}` (indep|dep|para)"
-        ))),
-    }
+    s.parse().map_err(CliError::Usage)
 }
 
 fn cmd_lock(argv: &[String]) -> Result<String, CliError> {
@@ -988,6 +993,57 @@ fn cmd_campaign(argv: &[String]) -> Result<String, CliError> {
         trace.finish(&mut out)?;
     }
     Ok(out)
+}
+
+fn cmd_serve(argv: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(argv, &["debug-endpoints"])?;
+    let mut limits = sttlock_serve::http::Limits::default();
+    limits.max_body_bytes = args.get_u64("max-body-bytes", limits.max_body_bytes as u64)? as usize;
+    let cfg = sttlock_serve::ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_owned(),
+        workers: args.get_u64("workers", 0)? as usize,
+        queue_depth: args.get_u64("queue-depth", 64)? as usize,
+        request_timeout: std::time::Duration::from_millis(
+            args.get_u64("request-timeout-ms", 10_000)?,
+        ),
+        cache_dir: args.get("cache-dir").map(Into::into),
+        limits,
+        debug_endpoints: args.has("debug-endpoints"),
+        trace_path: args.get("trace").map(Into::into),
+    };
+    let queue_depth = cfg.queue_depth;
+    let server = sttlock_serve::Server::start(cfg)
+        .map_err(|e| CliError::Step(format!("cannot start server: {e}")))?;
+    eprintln!(
+        "sttlock-serve listening on {} (queue {queue_depth}); stop with POST /admin/shutdown or EOF on stdin",
+        server.addr(),
+    );
+    // No signal handling without libc, so stdin doubles as the local
+    // stop channel: a `quit` line always drains, and Ctrl-D does too
+    // when stdin is a terminal. EOF on a *non*-terminal stdin is
+    // ignored — a supervisor starting the server with `< /dev/null`
+    // must not trigger an instant shutdown.
+    let stop = server.stop_handle();
+    let interactive = std::io::IsTerminal::is_terminal(&std::io::stdin());
+    std::thread::spawn(move || {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::stdin().read_line(&mut line) {
+                Ok(0) | Err(_) => {
+                    if interactive {
+                        break; // Ctrl-D: drain and exit
+                    }
+                    return; // detached stdin: admin endpoint only
+                }
+                Ok(_) if matches!(line.trim(), "quit" | "stop" | "shutdown") => break,
+                Ok(_) => {}
+            }
+        }
+        stop.stop();
+    });
+    let digest = server.wait();
+    Ok(format!("sttlock-serve drained cleanly: {digest}\n"))
 }
 
 #[cfg(test)]

@@ -46,6 +46,22 @@ impl SelectionAlgorithm {
     }
 }
 
+impl std::str::FromStr for SelectionAlgorithm {
+    type Err = String;
+
+    /// Accepts the short and long spellings every front end (CLI flags,
+    /// service request bodies) uses, so they reject unknown algorithms
+    /// with one shared message.
+    fn from_str(s: &str) -> Result<SelectionAlgorithm, String> {
+        match s {
+            "indep" | "independent" => Ok(SelectionAlgorithm::Independent),
+            "dep" | "dependent" => Ok(SelectionAlgorithm::Dependent),
+            "para" | "parametric" | "parametric-aware" => Ok(SelectionAlgorithm::ParametricAware),
+            other => Err(format!("unknown algorithm `{other}` (indep|dep|para)")),
+        }
+    }
+}
+
 impl std::fmt::Display for SelectionAlgorithm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {

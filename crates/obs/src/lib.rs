@@ -28,8 +28,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod metrics;
 mod trace;
 
+pub use metrics::{Fanout, MetricsCollector};
 pub use trace::TraceCollector;
 
 use std::cell::RefCell;

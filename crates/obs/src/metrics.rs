@@ -1,0 +1,266 @@
+//! Aggregate-only metric sinks for long-running processes.
+//!
+//! [`TraceCollector`](crate::TraceCollector) keeps every closed span,
+//! which is the right trade for a bounded campaign run but an unbounded
+//! memory leak for a resident service. [`MetricsCollector`] keeps only
+//! the roll-ups — counters, gauges with peaks, and per-name log₂
+//! duration histograms — and renders them as a stable line-oriented
+//! text export for a `GET /metrics` endpoint. [`Fanout`] composes
+//! sinks, so a service can aggregate metrics *and* stream a JSONL
+//! trace when asked to.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::trace::Hist;
+use crate::{Collector, SpanData};
+
+#[derive(Debug, Default)]
+struct MetricsState {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, (i64, i64)>, // (current, peak)
+    hists: BTreeMap<String, Hist>,
+}
+
+/// A [`Collector`] that aggregates and never retains individual spans:
+/// memory use is bounded by the number of distinct metric names, so it
+/// is safe to leave installed for the lifetime of a server process.
+#[derive(Debug, Default)]
+pub struct MetricsCollector {
+    state: Mutex<MetricsState>,
+}
+
+impl MetricsCollector {
+    /// A fresh collector, ready for [`install`](crate::install).
+    pub fn new() -> Arc<MetricsCollector> {
+        Arc::new(MetricsCollector::default())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MetricsState> {
+        // A panicking instrumented thread must not wedge the registry;
+        // every mutation keeps the state valid, so recover.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Current value of the counter `name` (0 when never bumped).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of the gauge `name` (0 when never moved).
+    pub fn gauge_value(&self, name: &str) -> i64 {
+        self.lock().gauges.get(name).map_or(0, |&(cur, _)| cur)
+    }
+
+    /// Observation count of the histogram `name` (0 when absent).
+    pub fn hist_count(&self, name: &str) -> u64 {
+        self.lock().hists.get(name).map_or(0, |h| h.count)
+    }
+
+    /// Text export, one metric per line:
+    ///
+    /// ```text
+    /// sttlock_counter{name="serve.accepted"} 12
+    /// sttlock_gauge{name="serve.in_flight"} 0
+    /// sttlock_gauge_peak{name="serve.in_flight"} 4
+    /// sttlock_hist_count{name="serve.request"} 12
+    /// sttlock_hist_sum_us{name="serve.request"} 83211
+    /// sttlock_hist_p50_us{name="serve.request"} 4096
+    /// sttlock_hist_p95_us{name="serve.request"} 16384
+    /// sttlock_hist_max_us{name="serve.request"} 15321
+    /// ```
+    ///
+    /// Names are emitted verbatim inside the label; ordering is the
+    /// BTreeMap's, i.e. deterministic, so tests and CI can diff it.
+    pub fn render_text(&self) -> String {
+        let state = self.lock();
+        let mut out = String::new();
+        for (name, value) in &state.counters {
+            let _ = writeln!(out, "sttlock_counter{{name=\"{name}\"}} {value}");
+        }
+        for (name, (current, peak)) in &state.gauges {
+            let _ = writeln!(out, "sttlock_gauge{{name=\"{name}\"}} {current}");
+            let _ = writeln!(out, "sttlock_gauge_peak{{name=\"{name}\"}} {peak}");
+        }
+        for (name, h) in &state.hists {
+            let _ = writeln!(out, "sttlock_hist_count{{name=\"{name}\"}} {}", h.count);
+            let _ = writeln!(out, "sttlock_hist_sum_us{{name=\"{name}\"}} {}", h.sum_us);
+            let _ = writeln!(
+                out,
+                "sttlock_hist_p50_us{{name=\"{name}\"}} {}",
+                h.quantile_us(0.50)
+            );
+            let _ = writeln!(
+                out,
+                "sttlock_hist_p95_us{{name=\"{name}\"}} {}",
+                h.quantile_us(0.95)
+            );
+            let _ = writeln!(out, "sttlock_hist_max_us{{name=\"{name}\"}} {}", h.max_us);
+        }
+        out
+    }
+
+    /// One-line digest for logs: total span count and the top counters.
+    pub fn digest(&self) -> String {
+        let state = self.lock();
+        let spans: u64 = state.hists.values().map(|h| h.count).sum();
+        format!(
+            "{} counters, {} gauges, {} histograms, {} observations",
+            state.counters.len(),
+            state.gauges.len(),
+            state.hists.len(),
+            spans
+        )
+    }
+}
+
+impl Collector for MetricsCollector {
+    fn span_close(&self, span: &SpanData) {
+        let mut state = self.lock();
+        state
+            .hists
+            .entry(span.name.to_owned())
+            .or_insert_with(Hist::new)
+            .observe(span.duration_us);
+    }
+
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        let mut state = self.lock();
+        *state.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn gauge_add(&self, name: &'static str, delta: i64) {
+        let mut state = self.lock();
+        let entry = state.gauges.entry(name).or_insert((0, 0));
+        entry.0 += delta;
+        entry.1 = entry.1.max(entry.0);
+    }
+
+    fn observe_us(&self, name: &'static str, value_us: u64) {
+        let mut state = self.lock();
+        state
+            .hists
+            .entry(name.to_owned())
+            .or_insert_with(Hist::new)
+            .observe(value_us);
+    }
+}
+
+/// Forwards every event to each wrapped sink, in order. Lets a server
+/// run the bounded [`MetricsCollector`] always and add a
+/// [`TraceCollector`](crate::TraceCollector) only when `--trace` asks
+/// for the full span stream.
+pub struct Fanout {
+    sinks: Vec<Arc<dyn Collector>>,
+}
+
+impl Fanout {
+    /// A fanout over `sinks` (empty is allowed and inert).
+    pub fn new(sinks: Vec<Arc<dyn Collector>>) -> Arc<Fanout> {
+        Arc::new(Fanout { sinks })
+    }
+}
+
+impl Collector for Fanout {
+    fn span_close(&self, span: &SpanData) {
+        for s in &self.sinks {
+            s.span_close(span);
+        }
+    }
+
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        for s in &self.sinks {
+            s.counter_add(name, delta);
+        }
+    }
+
+    fn gauge_add(&self, name: &'static str, delta: i64) {
+        for s in &self.sinks {
+            s.gauge_add(name, delta);
+        }
+    }
+
+    fn observe_us(&self, name: &'static str, value_us: u64) {
+        for s in &self.sinks {
+            s.observe_us(name, value_us);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{install, span, test_lock, uninstall, TraceCollector};
+
+    #[test]
+    fn metrics_collector_aggregates_without_retaining_spans() {
+        let _guard = test_lock();
+        let metrics = MetricsCollector::new();
+        install(metrics.clone());
+        {
+            let _s = span!("serve.request", endpoint = "harden");
+        }
+        crate::counter("serve.accepted", 2);
+        crate::gauge("serve.in_flight", 3);
+        crate::gauge("serve.in_flight", -3);
+        crate::observe_us("serve.queue_wait", 250);
+        uninstall();
+
+        assert_eq!(metrics.counter_value("serve.accepted"), 2);
+        assert_eq!(metrics.gauge_value("serve.in_flight"), 0);
+        assert_eq!(metrics.hist_count("serve.request"), 1);
+        assert_eq!(metrics.hist_count("serve.queue_wait"), 1);
+
+        let text = metrics.render_text();
+        assert!(
+            text.contains("sttlock_counter{name=\"serve.accepted\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sttlock_gauge{name=\"serve.in_flight\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sttlock_gauge_peak{name=\"serve.in_flight\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sttlock_hist_count{name=\"serve.request\"} 1"),
+            "{text}"
+        );
+        assert!(metrics.digest().contains("2 observations"), "digest");
+    }
+
+    #[test]
+    fn render_text_is_deterministic_and_line_oriented() {
+        let metrics = MetricsCollector::default();
+        metrics.counter_add("b.second", 1);
+        metrics.counter_add("a.first", 1);
+        let text = metrics.render_text();
+        let a = text.find("a.first").unwrap();
+        let b = text.find("b.second").unwrap();
+        assert!(a < b, "BTreeMap ordering: {text}");
+        assert!(text.lines().all(|l| l.contains('{') && l.contains("} ")));
+    }
+
+    #[test]
+    fn fanout_forwards_to_every_sink() {
+        let _guard = test_lock();
+        let metrics = MetricsCollector::new();
+        let trace = TraceCollector::new();
+        install(Fanout::new(vec![
+            metrics.clone() as Arc<dyn Collector>,
+            trace.clone() as Arc<dyn Collector>,
+        ]));
+        {
+            let _s = span!("both");
+        }
+        crate::counter("both.hits", 4);
+        uninstall();
+        assert_eq!(metrics.counter_value("both.hits"), 4);
+        assert_eq!(metrics.hist_count("both"), 1);
+        assert_eq!(trace.counter_value("both.hits"), 4);
+        assert_eq!(trace.spans().len(), 1, "trace still keeps spans");
+    }
+}

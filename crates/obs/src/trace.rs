@@ -11,18 +11,19 @@ use crate::{Collector, FieldValue, SpanData};
 /// microseconds (bucket 0 is `< 1 µs`).
 const BUCKETS: usize = 40;
 
-/// A log₂-bucketed duration histogram.
+/// A log₂-bucketed duration histogram (shared with the aggregate-only
+/// [`MetricsCollector`](crate::MetricsCollector)).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct Hist {
-    count: u64,
-    sum_us: u64,
-    min_us: u64,
-    max_us: u64,
+    pub(crate) count: u64,
+    pub(crate) sum_us: u64,
+    pub(crate) min_us: u64,
+    pub(crate) max_us: u64,
     buckets: [u64; BUCKETS],
 }
 
 impl Hist {
-    fn new() -> Hist {
+    pub(crate) fn new() -> Hist {
         Hist {
             count: 0,
             sum_us: 0,
@@ -32,7 +33,7 @@ impl Hist {
         }
     }
 
-    fn observe(&mut self, us: u64) {
+    pub(crate) fn observe(&mut self, us: u64) {
         self.count += 1;
         self.sum_us = self.sum_us.saturating_add(us);
         self.min_us = self.min_us.min(us);
@@ -44,7 +45,7 @@ impl Hist {
     /// Upper bound of the bucket holding the `q`-quantile observation —
     /// an approximation within a factor of two, which is what a
     /// where-did-the-time-go summary needs.
-    fn quantile_us(&self, q: f64) -> u64 {
+    pub(crate) fn quantile_us(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
@@ -59,7 +60,7 @@ impl Hist {
         self.max_us
     }
 
-    fn mean_us(&self) -> u64 {
+    pub(crate) fn mean_us(&self) -> u64 {
         self.sum_us.checked_div(self.count).unwrap_or(0)
     }
 }

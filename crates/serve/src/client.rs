@@ -1,0 +1,128 @@
+//! Minimal blocking HTTP/1.1 client for the load generator and the
+//! integration tests.
+//!
+//! The server always replies `Connection: close`, so the client reads
+//! to EOF and splits head from body at the first blank line. No TLS,
+//! no redirects, no keep-alive — exactly enough to talk to
+//! `sttlock-serve` without external dependencies.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed response: status code, lower-cased headers, raw body.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Numeric status code from the status line.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The response body, verbatim.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == want)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, lossily.
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Sends one request and reads the full response. `timeout` bounds
+/// both the connect and each read/write syscall. A connection the
+/// server drops before sending a status line comes back as an
+/// [`io::Error`] — the load generator counts those as hard failures.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> io::Result<HttpResponse> {
+    let mut stream = connect(addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.set_nodelay(true)?;
+
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn connect(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
+    let resolved = addr.parse().map_err(|e| {
+        io::Error::new(io::ErrorKind::InvalidInput, format!("bad addr {addr}: {e}"))
+    })?;
+    TcpStream::connect_timeout(&resolved, timeout)
+}
+
+fn parse_response(raw: &[u8]) -> io::Result<HttpResponse> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("no header/body separator in response"))?;
+    let head = std::str::from_utf8(&raw[..split]).map_err(|_| bad("non-UTF-8 response head"))?;
+    let body = raw[split + 4..].to_vec();
+
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    // "HTTP/1.1 200 OK" — the code is the second token.
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let headers = lines
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.trim().to_ascii_lowercase(), value.trim().to_owned()))
+        })
+        .collect();
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_plain_response() {
+        let raw =
+            b"HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: 4\r\n\r\ngone";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 404);
+        assert_eq!(r.header("content-type"), Some("text/plain"));
+        assert_eq!(r.header("Content-Type"), Some("text/plain"));
+        assert_eq!(r.body_text(), "gone");
+    }
+
+    #[test]
+    fn torn_responses_are_io_errors_not_panics() {
+        assert!(parse_response(b"").is_err());
+        assert!(parse_response(b"HTTP/1.1 200").is_err());
+        assert!(parse_response(b"garbage\r\n\r\n").is_err());
+    }
+}

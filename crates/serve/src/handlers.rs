@@ -1,0 +1,383 @@
+//! Endpoint routing and the harden/attack request handlers.
+//!
+//! Handlers are plain functions from a parsed [`Request`] to a
+//! [`Response`]; the worker wraps the whole thing in `catch_unwind`, so
+//! a handler may panic without taking the pool down. Status mapping:
+//!
+//! * `400` — unparseable JSON, missing/unknown fields, bad netlist;
+//! * `422` — well-formed input the flow/attack could not process;
+//! * `504` — the per-request deadline expired; the body carries
+//!   whatever partial metrics the stage had produced;
+//! * `500` — handler panic (from the worker's unwind guard).
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sttlock_attack::sat_attack::{self, SatAttackConfig, SequentialAttackConfig};
+use sttlock_attack::sensitization::{self, SensitizationConfig};
+use sttlock_attack::AttackError;
+use sttlock_campaign::cache::cell_key;
+use sttlock_campaign::json::Json;
+use sttlock_core::{Flow, SelectionAlgorithm};
+use sttlock_netlist::{bench_format, Netlist};
+use sttlock_techlib::Library;
+
+use crate::http::{Request, Response};
+use crate::Shared;
+
+/// Routes one request. Unknown paths are 404; known paths with the
+/// wrong method are 405.
+pub(crate) fn route(shared: &Shared, req: &Request, deadline: Instant) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => metrics(shared),
+        ("POST", "/v1/harden") => {
+            sttlock_obs::counter("serve.endpoint.harden", 1);
+            harden(shared, req, deadline)
+        }
+        ("POST", "/v1/attack") => {
+            sttlock_obs::counter("serve.endpoint.attack", 1);
+            attack(req, deadline)
+        }
+        ("POST", "/admin/shutdown") => {
+            shared.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+            Response::json(200, "{\"draining\":true}".to_owned())
+        }
+        ("POST", "/debug/sleep") if shared.debug_endpoints => debug_sleep(req, deadline),
+        ("POST", "/debug/panic") if shared.debug_endpoints => {
+            panic!("injected handler panic")
+        }
+        (_, "/healthz" | "/metrics" | "/v1/harden" | "/v1/attack" | "/admin/shutdown") => {
+            Response::error(405, &format!("method {} not allowed here", req.method))
+        }
+        _ => Response::error(404, &format!("no such endpoint: {}", req.path)),
+    }
+}
+
+fn healthz(shared: &Shared) -> Response {
+    let body = Json::obj([
+        ("status", Json::from("ok")),
+        (
+            "uptime_ms",
+            Json::from(shared.started.elapsed().as_millis() as u64),
+        ),
+        ("workers", Json::from(shared.workers)),
+        ("queue_depth", Json::from(shared.queue_depth)),
+        (
+            "in_flight",
+            Json::from(shared.metrics.gauge_value("serve.in_flight").max(0) as u64),
+        ),
+        (
+            "queued",
+            Json::from(shared.metrics.gauge_value("serve.queued").max(0) as u64),
+        ),
+        ("cache", Json::from(shared.cache.is_some())),
+    ]);
+    Response::json(200, body.to_string())
+}
+
+fn metrics(shared: &Shared) -> Response {
+    Response::text(200, shared.metrics.render_text())
+}
+
+/// Parsed common fields of a harden/attack request body. The netlist
+/// itself is parsed lazily: a cache-hit harden never needs it, and on
+/// large circuits the `.bench` parse is the dominant warm-path cost.
+struct FlowRequest {
+    bench: String,
+    algorithm: SelectionAlgorithm,
+    seed: u64,
+    body: Json,
+}
+
+impl FlowRequest {
+    fn netlist(&self) -> Result<Netlist, Response> {
+        bench_format::parse(&self.bench, "request")
+            .map_err(|e| Response::error(400, &format!("bench netlist rejected: {e}")))
+    }
+}
+
+fn parse_flow_request(req: &Request) -> Result<FlowRequest, Response> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| Response::error(400, "body is not valid UTF-8"))?;
+    let body =
+        Json::parse(text).map_err(|e| Response::error(400, &format!("body is not JSON: {e}")))?;
+    let bench = body
+        .get("bench")
+        .and_then(Json::as_str)
+        .ok_or_else(|| Response::error(400, "missing required string field `bench`"))?
+        .to_owned();
+    let algorithm: SelectionAlgorithm = body
+        .get("algorithm")
+        .and_then(Json::as_str)
+        .unwrap_or("para")
+        .parse()
+        .map_err(|e: String| Response::error(400, &e))?;
+    let seed = body.get("seed").and_then(Json::as_u64).unwrap_or(42);
+    Ok(FlowRequest {
+        bench,
+        algorithm,
+        seed,
+        body,
+    })
+}
+
+/// `POST /v1/harden` — run the selection/replacement flow and return
+/// the bitstream plus overhead and security metrics. Idempotent per
+/// (bench, algorithm, seed): responses are cached under the campaign
+/// cache's content-hash keying, so repeats skip the flow entirely.
+fn harden(shared: &Shared, req: &Request, deadline: Instant) -> Response {
+    let start = Instant::now();
+    let fr = match parse_flow_request(req) {
+        Ok(fr) => fr,
+        Err(resp) => return resp,
+    };
+
+    let key = cell_key(
+        &format!("serve.harden|v1|{}|{}", fr.algorithm, fr.seed),
+        &fr.bench,
+    );
+    if let Some(cache) = &shared.cache {
+        if let Some(hit) = cache.lookup_text(key) {
+            if let Ok(Json::Obj(mut m)) = Json::parse(&hit) {
+                sttlock_obs::counter("serve.harden.cache_hit", 1);
+                m.insert("cached".to_owned(), Json::Bool(true));
+                m.insert(
+                    "wall_ms".to_owned(),
+                    Json::from(start.elapsed().as_millis() as u64),
+                );
+                return Response::json(200, Json::Obj(m).to_string());
+            }
+        }
+        sttlock_obs::counter("serve.harden.cache_miss", 1);
+    }
+
+    let netlist = match fr.netlist() {
+        Ok(n) => n,
+        Err(resp) => return resp,
+    };
+    let flow = Flow::new(Library::predictive_90nm());
+    let outcome = match flow.run(&netlist, fr.algorithm, fr.seed) {
+        Ok(o) => o,
+        Err(e) => return Response::error(422, &format!("flow failed: {e}")),
+    };
+    let report = &outcome.report;
+    let metrics = Json::obj([
+        ("perf_pct", Json::from(report.performance_degradation_pct)),
+        ("power_pct", Json::from(report.power_overhead_pct)),
+        ("leakage_pct", Json::from(report.leakage_overhead_pct)),
+        ("area_pct", Json::from(report.area_overhead_pct)),
+        (
+            "selection_ms",
+            Json::from(report.selection_time.as_secs_f64() * 1e3),
+        ),
+    ]);
+    let security = Json::obj([
+        ("n_indep_log10", Json::from(report.security.n_indep.log10())),
+        ("n_dep_log10", Json::from(report.security.n_dep.log10())),
+        ("n_bf_log10", Json::from(report.security.n_bf.log10())),
+    ]);
+    let bitstream = Json::Arr(
+        outcome
+            .bitstream
+            .iter()
+            .map(|(id, table)| {
+                Json::obj([
+                    ("lut", Json::from(outcome.hybrid.node_name(*id))),
+                    ("inputs", Json::from(table.inputs())),
+                    ("mask", Json::from(format!("{:#x}", table.bits()).as_str())),
+                ])
+            })
+            .collect(),
+    );
+    let body = Json::obj([
+        ("algorithm", Json::from(fr.algorithm.to_string().as_str())),
+        ("seed", Json::from(fr.seed)),
+        ("gates", Json::from(netlist.gate_count())),
+        ("stt_count", Json::from(report.stt_count)),
+        ("metrics", metrics.clone()),
+        ("security", security),
+        ("bitstream", bitstream),
+        ("cached", Json::Bool(false)),
+        ("wall_ms", Json::from(start.elapsed().as_millis() as u64)),
+    ]);
+    // Cache before the deadline check: a request that computed the
+    // answer but blew its budget still pays forward — the idempotent
+    // retry becomes a cache hit.
+    if let Some(cache) = &shared.cache {
+        cache.store_text(key, &body.to_string());
+    }
+    if Instant::now() >= deadline {
+        sttlock_obs::counter("serve.deadline_missed", 1);
+        let partial = Json::obj([
+            (
+                "error",
+                Json::from("deadline exceeded during harden; partial metrics attached"),
+            ),
+            ("partial", metrics),
+        ]);
+        return Response::json(504, partial.to_string());
+    }
+    Response::json(200, body.to_string())
+}
+
+/// `POST /v1/attack` — harden the submitted netlist, then attack the
+/// resulting hybrid with the requested mode. The request deadline maps
+/// onto the sensitization attack's wall budget, so a long attack comes
+/// back as 504 *with* the partial outcome it reached (test clocks, SAT
+/// queries, resolution ratio) rather than an empty failure.
+fn attack(req: &Request, deadline: Instant) -> Response {
+    let start = Instant::now();
+    let fr = match parse_flow_request(req) {
+        Ok(fr) => fr,
+        Err(resp) => return resp,
+    };
+    let mode = fr
+        .body
+        .get("mode")
+        .and_then(Json::as_str)
+        .unwrap_or("sens")
+        .to_owned();
+    let max_dips = fr
+        .body
+        .get("max_dips")
+        .and_then(Json::as_u64)
+        .unwrap_or(10_000) as usize;
+    let frames = fr.body.get("frames").and_then(Json::as_u64).unwrap_or(3) as usize;
+
+    let flow = Flow::new(Library::predictive_90nm());
+    let netlist = match fr.netlist() {
+        Ok(n) => n,
+        Err(resp) => return resp,
+    };
+    let outcome = match flow.run(&netlist, fr.algorithm, fr.seed) {
+        Ok(o) => o,
+        Err(e) => return Response::error(422, &format!("flow failed: {e}")),
+    };
+    let hybrid = &outcome.hybrid;
+    let foundry = hybrid.redact().0;
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        sttlock_obs::counter("serve.deadline_missed", 1);
+        return Response::error(504, "deadline exceeded before the attack started");
+    }
+
+    let wall_ms = || Json::from(start.elapsed().as_millis() as u64);
+    match mode.as_str() {
+        "sens" => {
+            let cfg = SensitizationConfig {
+                max_wall_ms: remaining.as_millis().max(1) as u64,
+                ..SensitizationConfig::default()
+            };
+            let mut rng = StdRng::seed_from_u64(fr.seed ^ 0xA77A_C4ED);
+            match sensitization::run(&foundry, hybrid, &cfg, &mut rng) {
+                Ok(out) => Response::json(
+                    200,
+                    Json::obj([
+                        ("mode", Json::from("sens")),
+                        ("broke", Json::Bool(out.is_full_break())),
+                        ("resolution_ratio", Json::from(out.resolution_ratio())),
+                        ("test_clocks", Json::from(out.test_clocks)),
+                        ("sat_queries", Json::from(out.sat_queries)),
+                        ("wall_ms", wall_ms()),
+                    ])
+                    .to_string(),
+                ),
+                Err(AttackError::TimedOut { partial }) => {
+                    sttlock_obs::counter("serve.deadline_missed", 1);
+                    Response::json(
+                        504,
+                        Json::obj([
+                            (
+                                "error",
+                                Json::from("attack budget exhausted; partial outcome attached"),
+                            ),
+                            (
+                                "partial",
+                                Json::obj([
+                                    ("resolution_ratio", Json::from(partial.resolution_ratio())),
+                                    ("test_clocks", Json::from(partial.test_clocks)),
+                                    ("sat_queries", Json::from(partial.sat_queries)),
+                                ]),
+                            ),
+                            ("wall_ms", wall_ms()),
+                        ])
+                        .to_string(),
+                    )
+                }
+                Err(e) => Response::error(422, &format!("attack failed: {e}")),
+            }
+        }
+        "sat" => match sat_attack::run(&foundry, hybrid, &SatAttackConfig { max_dips }) {
+            Ok(out) => Response::json(
+                200,
+                Json::obj([
+                    ("mode", Json::from("sat")),
+                    ("broke", Json::Bool(out.succeeded())),
+                    ("dips", Json::from(out.dips)),
+                    ("conflicts", Json::from(out.solver_stats.conflicts)),
+                    ("decisions", Json::from(out.solver_stats.decisions)),
+                    ("wall_ms", wall_ms()),
+                ])
+                .to_string(),
+            ),
+            Err(e) => Response::error(422, &format!("attack failed: {e}")),
+        },
+        "seq" => {
+            let cfg = SequentialAttackConfig { frames, max_dips };
+            match sat_attack::run_sequential(&foundry, hybrid, &cfg) {
+                Ok(out) => Response::json(
+                    200,
+                    Json::obj([
+                        ("mode", Json::from("seq")),
+                        ("broke", Json::Bool(out.bitstream.is_some())),
+                        ("dips", Json::from(out.dips)),
+                        ("frames", Json::from(out.frames)),
+                        ("conflicts", Json::from(out.solver_stats.conflicts)),
+                        ("wall_ms", wall_ms()),
+                    ])
+                    .to_string(),
+                ),
+                Err(e) => Response::error(422, &format!("attack failed: {e}")),
+            }
+        }
+        other => Response::error(
+            400,
+            &format!("unknown attack mode `{other}` (sens|sat|seq)"),
+        ),
+    }
+}
+
+/// `POST /debug/sleep` `{"ms": n}` — occupy a worker for `n` ms,
+/// honouring the request deadline. Tests use it to fill the pool
+/// (429), overrun budgets (504) and check shutdown draining, without
+/// depending on flow timings.
+fn debug_sleep(req: &Request, deadline: Instant) -> Response {
+    let ms = std::str::from_utf8(&req.body)
+        .ok()
+        .and_then(|t| Json::parse(t).ok())
+        .and_then(|b| b.get("ms").and_then(Json::as_u64))
+        .unwrap_or(0);
+    let start = Instant::now();
+    let until = start + Duration::from_millis(ms);
+    while Instant::now() < until {
+        if Instant::now() >= deadline {
+            sttlock_obs::counter("serve.deadline_missed", 1);
+            return Response::json(
+                504,
+                Json::obj([
+                    ("error", Json::from("deadline exceeded while sleeping")),
+                    ("slept_ms", Json::from(start.elapsed().as_millis() as u64)),
+                ])
+                .to_string(),
+            );
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    Response::json(
+        200,
+        Json::obj([("slept_ms", Json::from(start.elapsed().as_millis() as u64))]).to_string(),
+    )
+}

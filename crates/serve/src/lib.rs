@@ -1,0 +1,396 @@
+//! `sttlock-serve`: a resident harden/attack service.
+//!
+//! Every entry point into the flow used to be a one-shot CLI run; this
+//! crate keeps the process — and with it the content-hash cache and the
+//! obs registry — warm across requests, behind a zero-external-
+//! dependency HTTP/1.1 JSON API over [`std::net::TcpListener`]:
+//!
+//! * `POST /v1/harden` — bench netlist + algorithm + seed → hybrid
+//!   bitstream, overhead metrics, security estimate;
+//! * `POST /v1/attack` — sensitization / SAT / sequential-SAT attack
+//!   with the existing deadline budgets;
+//! * `GET /healthz`, `GET /metrics` (text export of the obs
+//!   counters/gauges/histograms), `POST /admin/shutdown`.
+//!
+//! The execution model is a bounded worker pool behind a bounded accept
+//! queue: the accept thread `try_send`s connections into an
+//! [`mpsc::sync_channel`] and answers 429 itself when the queue is
+//! full, so overload degrades into fast, well-formed rejections instead
+//! of unbounded memory or dropped connections. Each request carries a
+//! deadline from its accept timestamp; blowing it returns 504 with
+//! whatever partial metrics the stage produced. A panicking handler is
+//! contained by `catch_unwind` (like the campaign runner's cells) and
+//! becomes a 500 without killing the worker. Shutdown — the admin
+//! endpoint or [`Server::shutdown`] — stops accepting, drains every
+//! queued and in-flight request, then joins the pool, so no accepted
+//! request is ever dropped.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod handlers;
+pub mod http;
+
+use std::fs;
+use std::io::{self, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use sttlock_campaign::cache::Cache;
+use sttlock_obs::{Fanout, MetricsCollector, TraceCollector};
+
+use http::{Limits, Response};
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Per-read socket timeout: a peer that stops sending mid-request
+/// (slowloris) costs a worker at most this long.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Server configuration; every field has a sensible default.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (0 = available parallelism).
+    pub workers: usize,
+    /// Accepted-but-unserved connection queue bound; beyond it the
+    /// accept thread answers 429 immediately.
+    pub queue_depth: usize,
+    /// Per-request wall budget, measured from accept; overruns are 504.
+    pub request_timeout: Duration,
+    /// Response cache directory (shared keying with the campaign
+    /// cache); `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+    /// HTTP parse limits.
+    pub limits: Limits,
+    /// Expose `POST /debug/sleep` and `POST /debug/panic` (tests/CI
+    /// drive backpressure, deadline and panic paths deterministically).
+    pub debug_endpoints: bool,
+    /// Also record a full span trace, written here on shutdown.
+    pub trace_path: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 0,
+            queue_depth: 64,
+            request_timeout: Duration::from_secs(10),
+            cache_dir: None,
+            limits: Limits::default(),
+            debug_endpoints: false,
+            trace_path: None,
+        }
+    }
+}
+
+/// State shared by the accept thread, the workers and the handlers.
+pub(crate) struct Shared {
+    pub(crate) stop: AtomicBool,
+    pub(crate) request_timeout: Duration,
+    pub(crate) limits: Limits,
+    pub(crate) debug_endpoints: bool,
+    pub(crate) cache: Option<Cache>,
+    pub(crate) metrics: Arc<MetricsCollector>,
+    pub(crate) started: Instant,
+    pub(crate) workers: usize,
+    pub(crate) queue_depth: usize,
+}
+
+struct Job {
+    stream: TcpStream,
+    accepted_at: Instant,
+}
+
+/// A cloneable handle that can request shutdown from another thread
+/// (the CLI's stdin watcher, signal-ish glue).
+#[derive(Clone)]
+pub struct StopHandle(Arc<Shared>);
+
+impl StopHandle {
+    /// Requests a graceful shutdown: stop accepting, drain, exit.
+    pub fn stop(&self) {
+        self.0.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A running server; dropping it shuts down gracefully if
+/// [`Server::shutdown`]/[`Server::wait`] have not run already.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    addr: SocketAddr,
+    metrics: Arc<MetricsCollector>,
+    trace: Option<(Arc<TraceCollector>, PathBuf)>,
+    joined: bool,
+}
+
+impl Server {
+    /// Binds, installs the obs metrics sink and starts the pool.
+    ///
+    /// Installing is process-global: one server at a time. (Tests
+    /// serialize on that, the CLI runs exactly one.)
+    pub fn start(cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let metrics = MetricsCollector::new();
+        let trace = cfg.trace_path.clone().map(|p| (TraceCollector::new(), p));
+        match &trace {
+            Some((t, _)) => sttlock_obs::install(Fanout::new(vec![
+                metrics.clone() as Arc<dyn sttlock_obs::Collector>,
+                t.clone() as Arc<dyn sttlock_obs::Collector>,
+            ])),
+            None => sttlock_obs::install(metrics.clone()),
+        }
+
+        let workers = if cfg.workers > 0 {
+            cfg.workers
+        } else {
+            thread::available_parallelism().map_or(2, |n| n.get())
+        };
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            request_timeout: cfg.request_timeout,
+            limits: cfg.limits,
+            debug_endpoints: cfg.debug_endpoints,
+            cache: cfg.cache_dir.and_then(Cache::open),
+            metrics: metrics.clone(),
+            started: Instant::now(),
+            workers,
+            queue_depth: cfg.queue_depth,
+        });
+
+        let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(&shared, &listener, &tx))
+        };
+        let workers = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                thread::spawn(move || worker_loop(&shared, &rx))
+            })
+            .collect();
+
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            workers,
+            addr,
+            metrics,
+            trace,
+            joined: false,
+        })
+    }
+
+    /// The bound address (resolves `:0` for tests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The aggregate metrics sink (live while the server runs).
+    pub fn metrics(&self) -> &Arc<MetricsCollector> {
+        &self.metrics
+    }
+
+    /// A handle other threads can use to request shutdown.
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle(Arc::clone(&self.shared))
+    }
+
+    /// Blocks until shutdown is requested (`POST /admin/shutdown` or a
+    /// [`StopHandle`]), then drains and joins. Returns a metrics digest.
+    pub fn wait(mut self) -> String {
+        while !self.shared.stop.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(25));
+        }
+        self.join_all()
+    }
+
+    /// Requests shutdown, drains every queued and in-flight request,
+    /// joins the pool. Returns a metrics digest.
+    pub fn shutdown(mut self) -> String {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.join_all()
+    }
+
+    fn join_all(&mut self) -> String {
+        // The accept thread exits on the stop flag and drops the
+        // sender; workers drain what is already queued, then exit on
+        // the resulting disconnect. Nothing accepted is dropped.
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some((t, path)) = self.trace.take() {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    let _ = fs::create_dir_all(parent);
+                }
+            }
+            let _ = fs::write(path, t.to_jsonl());
+        }
+        sttlock_obs::uninstall();
+        self.joined = true;
+        self.metrics.digest()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.joined {
+            self.shared.stop.store(true, Ordering::SeqCst);
+            let _ = self.join_all();
+        }
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &mpsc::SyncSender<Job>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                sttlock_obs::counter("serve.accepted", 1);
+                // The accepted socket may inherit the listener's
+                // non-blocking mode; workers want blocking reads.
+                let _ = stream.set_nonblocking(false);
+                // One-shot request/response: Nagle only adds latency.
+                let _ = stream.set_nodelay(true);
+                match tx.try_send(Job {
+                    stream,
+                    accepted_at: Instant::now(),
+                }) {
+                    Ok(()) => sttlock_obs::gauge("serve.queued", 1),
+                    Err(mpsc::TrySendError::Full(job)) => reject_busy(job.stream),
+                    Err(mpsc::TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Backpressure: the queue is full, so the *accept thread* answers a
+/// canned 429 and closes — a bounded-latency rejection that never
+/// blocks behind the workers.
+fn reject_busy(mut stream: TcpStream) {
+    sttlock_obs::counter("serve.rejected_busy", 1);
+    count_status(429);
+    let resp = Response::error(429, "request queue is full, retry later");
+    let _ = stream.write_all(&resp.to_bytes());
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<Job>>) {
+    loop {
+        let job = {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        let Ok(job) = job else { break };
+        sttlock_obs::gauge("serve.queued", -1);
+        sttlock_obs::gauge("serve.in_flight", 1);
+        serve_connection(shared, job);
+        sttlock_obs::gauge("serve.in_flight", -1);
+    }
+}
+
+fn serve_connection(shared: &Shared, job: Job) {
+    let mut stream = job.stream;
+    let queue_us = job.accepted_at.elapsed().as_micros() as u64;
+    sttlock_obs::observe_us("serve.queue_wait", queue_us);
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let deadline = job.accepted_at + shared.request_timeout;
+
+    let mut span = sttlock_obs::span!("serve.request", queue_us = queue_us);
+    // Parse and compute under one unwind guard: a panic anywhere in
+    // request handling becomes a 500 on this connection, never a dead
+    // worker (the write below happens outside, from an intact stack).
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        let parsed = {
+            let _s = sttlock_obs::span!("request.parse");
+            http::read_request(&mut BufReader::new(&mut stream), &shared.limits)
+        };
+        match parsed {
+            Ok(req) => {
+                span.record("method", req.method.as_str());
+                span.record("path", req.path.as_str());
+                if Instant::now() >= deadline {
+                    // The whole budget went to queueing + parsing.
+                    sttlock_obs::counter("serve.deadline_missed", 1);
+                    return Some(Response::error(
+                        504,
+                        "request budget exhausted before compute",
+                    ));
+                }
+                let _s = sttlock_obs::span!("request.compute");
+                Some(handlers::route(shared, &req, deadline))
+            }
+            Err(http::HttpError::ConnectionClosed) => None,
+            Err(e) => {
+                sttlock_obs::counter("serve.parse_errors", 1);
+                e.response()
+            }
+        }
+    }));
+    let response = match outcome {
+        Ok(r) => r,
+        Err(payload) => {
+            sttlock_obs::counter("serve.request_panicked", 1);
+            Some(Response::error(
+                500,
+                &format!("handler panicked: {}", panic_message(&*payload)),
+            ))
+        }
+    };
+
+    let Some(response) = response else {
+        return; // peer closed without sending anything
+    };
+    span.record("status", response.status);
+    drop(span);
+    count_status(response.status);
+    let _ = stream
+        .write_all(&response.to_bytes())
+        .and_then(|()| stream.flush());
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+pub(crate) fn count_status(status: u16) {
+    sttlock_obs::counter("serve.responses", 1);
+    sttlock_obs::counter(
+        match status / 100 {
+            2 => "serve.status.2xx",
+            4 => "serve.status.4xx",
+            5 => "serve.status.5xx",
+            _ => "serve.status.other",
+        },
+        1,
+    );
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}

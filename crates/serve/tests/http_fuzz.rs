@@ -1,0 +1,151 @@
+//! Byte-mangle fuzz over the HTTP/1.1 request parser, mirroring the
+//! netlist crate's bench/verilog format fuzz: serialize a valid
+//! request, corrupt it with random byte edits, and require that the
+//! parser returns `Ok` or a typed error — never a panic — and that
+//! every reportable error renders as a well-formed 4xx response.
+
+use proptest::prelude::*;
+
+use sttlock_serve::http::{read_request, HttpError, Limits, Request};
+
+/// A syntactically valid request to use as the mangle substrate.
+fn render(method: &str, path: &str, headers: &[(String, String)], body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(format!("{method} {path} HTTP/1.1\r\n").as_bytes());
+    for (name, value) in headers {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(format!("Content-Length: {}\r\n\r\n", body.len()).as_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+fn arb_request() -> impl Strategy<Value = Vec<u8>> {
+    let method = prop::sample::select(vec!["GET", "POST", "PUT", "DELETE"]);
+    let path = prop::sample::select(vec![
+        "/healthz",
+        "/metrics",
+        "/v1/harden",
+        "/v1/attack",
+        "/x",
+    ]);
+    // Printable-ASCII header values (the vendored proptest has no
+    // regex-string strategy).
+    let value = prop::collection::vec(32u8..127, 0..30)
+        .prop_map(|v| String::from_utf8(v).expect("printable ASCII"));
+    let headers = prop::collection::vec(
+        (
+            prop::sample::select(vec!["Accept", "X-Trace", "User-Agent", "Host"]),
+            value,
+        ),
+        0..4,
+    );
+    let body = prop::collection::vec(any::<u8>(), 0..200);
+    (method, path, headers, body).prop_map(|(m, p, h, b)| {
+        let owned: Vec<(String, String)> = h.into_iter().map(|(n, v)| (n.to_owned(), v)).collect();
+        render(m, p, &owned, &b)
+    })
+}
+
+/// Byte-level replace/insert/delete edits — torn headers, flipped
+/// separators, truncations, garbage injection all fall out of this.
+fn mangle(bytes: &[u8], edits: &[(usize, u8, u8)]) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    for &(pos, byte, op) in edits {
+        if out.is_empty() {
+            break;
+        }
+        let at = pos % out.len();
+        match op % 4 {
+            0 => out[at] = byte,
+            1 => out.insert(at, byte),
+            2 => {
+                out.remove(at);
+            }
+            // Truncation: torn requests are the common network failure.
+            _ => out.truncate(at),
+        }
+    }
+    out
+}
+
+fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+    read_request(&mut &bytes[..], &Limits::default())
+}
+
+/// Every parser error except a clean pre-request EOF must render as a
+/// complete, well-formed 4xx HTTP response.
+fn assert_reportable(err: &HttpError) {
+    if matches!(err, HttpError::ConnectionClosed) {
+        return;
+    }
+    let status = err.status();
+    assert!(
+        (400..500).contains(&status),
+        "parser error {err:?} maps to non-4xx status {status}"
+    );
+    let resp = err
+        .response()
+        .unwrap_or_else(|| panic!("reportable error {err:?} produced no response"));
+    assert_eq!(resp.status, status);
+    let bytes = resp.to_bytes();
+    let text = String::from_utf8(bytes).expect("response must be UTF-8");
+    assert!(text.starts_with(&format!("HTTP/1.1 {status} ")), "{text}");
+    assert!(text.contains("\r\nConnection: close\r\n"), "{text}");
+    assert!(text.contains("\r\nContent-Length: "), "{text}");
+    assert!(text.contains("\r\n\r\n"), "{text}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Mangled request bytes must parse to Ok or a typed error — never
+    /// a panic — and every error must map to a well-formed 4xx.
+    #[test]
+    fn mangled_requests_never_panic_and_errors_are_4xx(
+        req in arb_request(),
+        edits in prop::collection::vec((any::<usize>(), any::<u8>(), any::<u8>()), 1..12),
+    ) {
+        let bad = mangle(&req, &edits);
+        if let Err(e) = parse(&bad) {
+            assert_reportable(&e);
+        }
+    }
+
+    /// Pure garbage (no valid substrate at all) follows the same rule.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        if let Err(e) = parse(&bytes) {
+            assert_reportable(&e);
+        }
+    }
+
+    /// A declared Content-Length larger than the delivered body is a
+    /// truncated body, reported as such rather than hanging or lying.
+    #[test]
+    fn truncated_bodies_are_typed(cut in 0usize..20, extra in 1usize..50) {
+        let full = render("POST", "/v1/harden", &[], &vec![b'x'; cut + extra]);
+        let torn = &full[..full.len() - extra];
+        match parse(torn) {
+            Err(HttpError::TruncatedBody { expected, got }) => {
+                assert_eq!(expected, cut + extra);
+                assert_eq!(got, cut);
+            }
+            other => panic!("expected TruncatedBody, got {other:?}"),
+        }
+    }
+
+    /// Pipelined trailing garbage after a complete request must not
+    /// corrupt the parse of the first request.
+    #[test]
+    fn pipelined_garbage_does_not_corrupt_the_first_request(
+        garbage in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut bytes = render("POST", "/v1/attack", &[], b"{\"seed\":1}");
+        bytes.extend_from_slice(&garbage);
+        let req = parse(&bytes).expect("the first request is intact");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/attack");
+        assert_eq!(req.body, b"{\"seed\":1}");
+    }
+}

@@ -1,0 +1,327 @@
+//! End-to-end tests for the serve stack: real sockets, real worker
+//! pool, real responses.
+//!
+//! The obs collector registry is process-global and `Server::start`
+//! installs into it, so every test takes `SERIAL` first — one live
+//! server at a time.
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sttlock_benchgen::Profile;
+use sttlock_campaign::json::Json;
+use sttlock_netlist::bench_format;
+use sttlock_serve::client::{self, HttpResponse};
+use sttlock_serve::{ServeConfig, Server};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("sttlock-serve-tests")
+        .join(format!("{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn post(addr: &str, path: &str, body: &str) -> HttpResponse {
+    client::request(addr, "POST", path, Some(body), TIMEOUT).expect("request should get a response")
+}
+
+fn get(addr: &str, path: &str) -> HttpResponse {
+    client::request(addr, "GET", path, None, TIMEOUT).expect("request should get a response")
+}
+
+fn bench_body(seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(7);
+    let bench = bench_format::write(&Profile::custom("t", 40, 3, 5, 3).generate(&mut rng));
+    format!(
+        "{{\"bench\":{},\"algorithm\":\"para\",\"seed\":{seed}}}",
+        json_string(&bench)
+    )
+}
+
+fn json_string(s: &str) -> String {
+    let escaped = s
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+        .replace('\t', "\\t");
+    format!("\"{escaped}\"")
+}
+
+#[test]
+fn healthz_and_unknown_routes() {
+    let _guard = serial();
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+
+    let health = get(&addr, "/healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.body_text().contains("\"status\":\"ok\""));
+
+    assert_eq!(get(&addr, "/nope").status, 404);
+    assert_eq!(get(&addr, "/v1/harden").status, 405);
+    assert_eq!(post(&addr, "/debug/panic", "").status, 404); // debug off
+
+    server.shutdown();
+}
+
+#[test]
+fn harden_round_trips_and_cache_hits_are_fast() {
+    let _guard = serial();
+    let cfg = ServeConfig {
+        cache_dir: Some(tmp_dir("cache")),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr().to_string();
+    let body = bench_body(3);
+
+    let t0 = Instant::now();
+    let cold = post(&addr, "/v1/harden", &body);
+    let cold_wall = t0.elapsed();
+    assert_eq!(cold.status, 200, "{}", cold.body_text());
+    let cold_text = cold.body_text();
+    assert!(cold_text.contains("\"cached\":false"), "{cold_text}");
+    assert!(cold_text.contains("\"bitstream\""), "{cold_text}");
+    assert!(cold_text.contains("\"n_bf_log10\""), "{cold_text}");
+
+    let t1 = Instant::now();
+    let warm = post(&addr, "/v1/harden", &body);
+    let warm_wall = t1.elapsed();
+    assert_eq!(warm.status, 200);
+    let warm_text = warm.body_text();
+    assert!(warm_text.contains("\"cached\":true"), "{warm_text}");
+    // Identical payload modulo the cached/wall_ms bookkeeping.
+    assert_eq!(
+        strip_volatile(&cold_text),
+        strip_volatile(&warm_text),
+        "cached response should carry the same flow result"
+    );
+    assert!(
+        warm_wall < cold_wall,
+        "cache hit ({warm_wall:?}) should beat the cold flow ({cold_wall:?})"
+    );
+
+    // A different seed is a different cache key.
+    let other = post(&addr, "/v1/harden", &bench_body(4));
+    assert!(other.body_text().contains("\"cached\":false"));
+
+    let metrics = get(&addr, "/metrics").body_text();
+    assert!(
+        metrics.contains("sttlock_counter{name=\"serve.harden.cache_hit\"} 1"),
+        "{metrics}"
+    );
+
+    server.shutdown();
+}
+
+fn strip_volatile(body: &str) -> String {
+    let Ok(Json::Obj(mut map)) = Json::parse(body) else {
+        panic!("response body is not a JSON object: {body}");
+    };
+    map.remove("cached");
+    map.remove("wall_ms");
+    Json::Obj(map).to_string()
+}
+
+#[test]
+fn attack_endpoint_reports_the_break() {
+    let _guard = serial();
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let bench = bench_format::write(&Profile::custom("a", 30, 2, 5, 3).generate(&mut rng));
+    let body = format!(
+        "{{\"bench\":{},\"algorithm\":\"indep\",\"seed\":1,\"mode\":\"sens\"}}",
+        json_string(&bench)
+    );
+    let resp = post(&addr, "/v1/attack", &body);
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+    let text = resp.body_text();
+    assert!(text.contains("\"mode\":\"sens\""), "{text}");
+    assert!(text.contains("\"test_clocks\""), "{text}");
+
+    let bad = post(&addr, "/v1/attack", "{\"bench\":\"not a netlist\"}");
+    assert_eq!(bad.status, 400);
+
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_gets_fast_429s_not_drops() {
+    let _guard = serial();
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        debug_endpoints: true,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr().to_string();
+
+    // Two sleepers: one occupies the only worker, one fills the queue.
+    let sleepers: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || post(&addr, "/debug/sleep", "{\"ms\":800}").status)
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(250));
+
+    // Pool busy + queue full → the accept thread itself answers 429.
+    let t0 = Instant::now();
+    let busy = post(&addr, "/debug/sleep", "{\"ms\":1}");
+    assert_eq!(busy.status, 429, "{}", busy.body_text());
+    assert!(
+        t0.elapsed() < Duration::from_millis(400),
+        "429 must not wait for the workers"
+    );
+
+    for s in sleepers {
+        assert_eq!(s.join().unwrap(), 200);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn blown_deadline_is_a_504_with_partial_state() {
+    let _guard = serial();
+    let cfg = ServeConfig {
+        request_timeout: Duration::from_millis(150),
+        debug_endpoints: true,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr().to_string();
+
+    let resp = post(&addr, "/debug/sleep", "{\"ms\":5000}");
+    assert_eq!(resp.status, 504, "{}", resp.body_text());
+    assert!(
+        resp.body_text().contains("slept_ms"),
+        "{}",
+        resp.body_text()
+    );
+
+    let metrics = server.metrics().clone();
+    server.shutdown();
+    assert_eq!(metrics.counter_value("serve.deadline_missed"), 1);
+}
+
+#[test]
+fn a_panicking_handler_is_a_500_and_the_pool_survives() {
+    let _guard = serial();
+    let cfg = ServeConfig {
+        workers: 2,
+        debug_endpoints: true,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr().to_string();
+
+    for _ in 0..3 {
+        let resp = post(&addr, "/debug/panic", "");
+        assert_eq!(resp.status, 500);
+        assert!(
+            resp.body_text().contains("injected handler panic"),
+            "{}",
+            resp.body_text()
+        );
+    }
+    // More panics than workers, yet the pool still serves.
+    assert_eq!(get(&addr, "/healthz").status, 200);
+
+    let metrics = get(&addr, "/metrics").body_text();
+    assert!(
+        metrics.contains("sttlock_counter{name=\"serve.request_panicked\"} 3"),
+        "{metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_4xx_responses() {
+    let _guard = serial();
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+
+    assert_eq!(post(&addr, "/v1/harden", "{not json").status, 400);
+    assert_eq!(post(&addr, "/v1/harden", "{}").status, 400); // no bench
+    assert_eq!(
+        post(&addr, "/v1/harden", "{\"bench\":\"INPUT(\"}").status,
+        400
+    );
+    let bad_alg = post(
+        &addr,
+        "/v1/harden",
+        "{\"bench\":\"x\",\"algorithm\":\"magic\"}",
+    );
+    assert_eq!(bad_alg.status, 400);
+    assert!(bad_alg.body_text().contains("unknown algorithm"));
+
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_finishes_in_flight_requests() {
+    let _guard = serial();
+    let cfg = ServeConfig {
+        debug_endpoints: true,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr().to_string();
+
+    let in_flight = {
+        let addr = addr.clone();
+        std::thread::spawn(move || post(&addr, "/debug/sleep", "{\"ms\":600}"))
+    };
+    std::thread::sleep(Duration::from_millis(200)); // let it reach a worker
+
+    let metrics = server.metrics().clone();
+    server.shutdown(); // blocks until drained
+    let resp = in_flight.join().unwrap();
+    assert_eq!(
+        resp.status,
+        200,
+        "in-flight request must complete across shutdown: {}",
+        resp.body_text()
+    );
+    assert_eq!(metrics.counter_value("serve.status.2xx"), 1);
+
+    // The listener is gone: new connections are refused, not queued.
+    assert!(client::request(&addr, "GET", "/healthz", None, Duration::from_secs(2)).is_err());
+}
+
+#[test]
+fn admin_shutdown_drains_via_wait() {
+    let _guard = serial();
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+
+    let resp = post(&addr, "/admin/shutdown", "");
+    assert_eq!(resp.status, 200);
+    assert!(resp.body_text().contains("draining"));
+
+    let metrics = server.metrics().clone();
+    let t0 = Instant::now();
+    let digest = server.wait();
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "wait() should notice the stop flag promptly"
+    );
+    assert!(digest.contains("counters"), "{digest}");
+    assert_eq!(metrics.counter_value("serve.accepted"), 1);
+}
