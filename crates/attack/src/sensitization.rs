@@ -44,6 +44,8 @@ use std::time::{Duration, Instant};
 
 use rand::Rng;
 
+use sttlock_exec::Budget;
+
 use sttlock_netlist::{CircuitView, HybridOverlay, Netlist, Node, NodeId, TruthTable};
 use sttlock_sat::encode::{assert_some_difference, encode};
 use sttlock_sat::{Lit, SatResult, Solver, Var};
@@ -75,6 +77,8 @@ pub struct SensitizationConfig {
     /// Test-clock budget: the attack stops with
     /// [`AttackError::TimedOut`] once this many oracle clocks are spent
     /// (`0` = unbounded). The partial result travels in the error.
+    /// Internally this becomes the step cap of the attack's
+    /// [`sttlock_exec::Budget`] child.
     pub max_test_clocks: u64,
     /// Wall-clock budget in milliseconds, same semantics
     /// (`0` = unbounded). Checked between patterns/SAT queries, so a
@@ -90,30 +94,6 @@ impl Default for SensitizationConfig {
             max_test_clocks: 0,
             max_wall_ms: 0,
         }
-    }
-}
-
-/// Step/deadline budget threaded through every attack stage.
-struct Budget {
-    max_clocks: u64,
-    deadline: Option<Instant>,
-}
-
-impl Budget {
-    fn new(cfg: &SensitizationConfig) -> Self {
-        Budget {
-            max_clocks: if cfg.max_test_clocks == 0 {
-                u64::MAX
-            } else {
-                cfg.max_test_clocks
-            },
-            deadline: (cfg.max_wall_ms > 0)
-                .then(|| Instant::now() + Duration::from_millis(cfg.max_wall_ms)),
-        }
-    }
-
-    fn exhausted(&self, spent_clocks: u64) -> bool {
-        spent_clocks >= self.max_clocks || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
 
@@ -238,6 +218,25 @@ pub fn run<R: Rng + ?Sized>(
     cfg: &SensitizationConfig,
     rng: &mut R,
 ) -> Result<SensitizationOutcome, AttackError> {
+    run_with_budget(redacted, oracle, cfg, &Budget::unbounded(), rng)
+}
+
+/// Runs the sensitization attack under a caller-provided [`Budget`].
+///
+/// The config's own limits (`max_test_clocks`, `max_wall_ms`) are
+/// derived as a *child* of `budget` with min-of-deadlines semantics, so
+/// whichever bound is tighter — the caller's (e.g. an HTTP request
+/// deadline, a campaign cell's cancel) or the config's — stops the
+/// attack. Exhaustion or cancellation surfaces as
+/// [`AttackError::TimedOut`] carrying the partial outcome; every
+/// simulated test clock is billed to the caller's budget chain.
+pub fn run_with_budget<R: Rng + ?Sized>(
+    redacted: &Netlist,
+    oracle: &Netlist,
+    cfg: &SensitizationConfig,
+    budget: &Budget,
+    rng: &mut R,
+) -> Result<SensitizationOutcome, AttackError> {
     if redacted.len() != oracle.len() {
         return Err(AttackError::DesignMismatch {
             redacted: redacted.len(),
@@ -272,7 +271,10 @@ pub fn run<R: Rng + ?Sized>(
 
     let n_inputs = redacted.inputs().len();
     let n_state = redacted.iter().filter(|(_, n)| n.is_dff()).count();
-    let budget = Budget::new(cfg);
+    let budget = budget.child_with(
+        (cfg.max_wall_ms > 0).then(|| Instant::now() + Duration::from_millis(cfg.max_wall_ms)),
+        (cfg.max_test_clocks > 0).then_some(cfg.max_test_clocks),
+    );
     let mut out_of_budget = false;
 
     // Iterative refinement: each round re-attacks the unresolved gates
@@ -302,13 +304,13 @@ pub fn run<R: Rng + ?Sized>(
                 if state.gates[&g].is_complete() {
                     break;
                 }
-                if budget.exhausted(state.test_clocks) {
+                if budget.exhausted() {
                     out_of_budget = true;
                     break 'rounds;
                 }
                 let inputs: Vec<u64> = (0..n_inputs).map(|_| rng.gen()).collect();
                 let st: Vec<u64> = (0..n_state).map(|_| rng.gen()).collect();
-                progress |= try_pattern(&view, &mut state, g, &inputs, &st)?;
+                progress |= try_pattern(&view, &mut state, &budget, g, &inputs, &st)?;
             }
         }
         drop(random_span);
@@ -327,7 +329,7 @@ pub fn run<R: Rng + ?Sized>(
                     if open & (1 << row) == 0 {
                         continue;
                     }
-                    if budget.exhausted(state.test_clocks) {
+                    if budget.exhausted() {
                         out_of_budget = true;
                         break 'rounds;
                     }
@@ -341,7 +343,7 @@ pub fn run<R: Rng + ?Sized>(
                             progress = true;
                         }
                         Some((inputs, st)) => {
-                            progress |= try_pattern(&view, &mut state, g, &inputs, &st)?;
+                            progress |= try_pattern(&view, &mut state, &budget, g, &inputs, &st)?;
                         }
                     }
                 }
@@ -459,13 +461,13 @@ fn joint_cluster_stage(
 
     let mut alive: Vec<usize> = (0..candidates.len()).collect();
     loop {
-        if budget.exhausted(state.test_clocks) {
+        if budget.exhausted() {
             return Ok(false);
         }
         // Distinguish the first survivor from any other survivor.
         let mut pattern = None;
         for &c in alive.iter().skip(1) {
-            if budget.exhausted(state.test_clocks) {
+            if budget.exhausted() {
                 return Ok(false);
             }
             state.sat_queries += 1;
@@ -481,6 +483,7 @@ fn joint_cluster_stage(
         state.oracle_sim.eval_frame(&inputs, &frame_state)?;
         let oracle_obs = state.oracle_sim.observation();
         state.test_clocks += 64;
+        budget.charge(64);
         alive.retain(|&c| {
             // All candidates are structure-identical to the base, so the
             // precomputed order is valid for each of them.
@@ -562,10 +565,12 @@ fn distinguish(a: &Netlist, b: &Netlist) -> Option<(Vec<u64>, Vec<u64>)> {
 
 /// Applies one 64-lane pattern: three-valued hypothesis runs on the
 /// working netlist, an oracle query, and row deduction for `g`.
-/// Returns whether any new row was resolved.
+/// Returns whether any new row was resolved. The 64 test clocks are
+/// billed to `budget` (and so to every ancestor up the exec chain).
 fn try_pattern(
     view: &CircuitView<'_>,
     state: &mut AttackState<'_>,
+    budget: &Budget,
     g: NodeId,
     inputs: &[u64],
     frame_state: &[u64],
@@ -573,6 +578,7 @@ fn try_pattern(
     let working = view.netlist();
     let fanin: Vec<NodeId> = working.node(g).fanin().to_vec();
     state.test_clocks += 64;
+    budget.charge(64);
 
     // Partial knowledge of the *other* unresolved gates narrows their X
     // poisoning to the rows still open.
@@ -942,6 +948,56 @@ mod tests {
             Err(AttackError::TimedOut { .. }) => {}
             Err(other) => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn a_cancelled_parent_budget_stops_the_attack_with_a_partial() {
+        let (redacted, programmed) = independent_case();
+        let mut rng = StdRng::seed_from_u64(21);
+        let parent = Budget::unbounded();
+        parent.cancel();
+        let err = run_with_budget(
+            &redacted,
+            &programmed,
+            &SensitizationConfig::default(),
+            &parent,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, AttackError::TimedOut { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn parent_deadline_tightens_an_unbounded_config() {
+        let (redacted, programmed) = independent_case();
+        let mut rng = StdRng::seed_from_u64(22);
+        let parent = Budget::deadline_at(Instant::now() - Duration::from_millis(1));
+        match run_with_budget(
+            &redacted,
+            &programmed,
+            &SensitizationConfig::default(),
+            &parent,
+            &mut rng,
+        ) {
+            Err(AttackError::TimedOut { .. }) => {}
+            other => panic!("expected timeout from the parent deadline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn test_clocks_are_billed_to_the_caller_budget() {
+        let (redacted, programmed) = independent_case();
+        let mut rng = StdRng::seed_from_u64(23);
+        let parent = Budget::unbounded();
+        let out = run_with_budget(
+            &redacted,
+            &programmed,
+            &SensitizationConfig::default(),
+            &parent,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(parent.steps_spent(), out.test_clocks);
     }
 
     #[test]

@@ -11,16 +11,22 @@
 //!   changes, the text changes and every affected cell re-runs; cells
 //!   whose circuits are byte-identical keep hitting.
 //!
-//! Keys are 128 bits (two independent FNV-1a streams) rendered as hex
-//! file names. Only [`RunStatus::Ok`](crate::RunStatus::Ok) records are
+//! Keys are 128-bit [`sttlock_exec::CacheKey`]s (two independent
+//! FNV-1a streams) rendered as hex file names — the keying scheme
+//! itself lives in the exec runtime and is shared with serve's response
+//! cache. Only [`RunStatus::Ok`](crate::RunStatus::Ok) records are
 //! stored: failures, panics and timeouts always re-execute, because
 //! they are exactly the cells one is trying to fix.
 
 use std::fs;
 use std::path::PathBuf;
 
+use sttlock_exec::KeyBuilder;
+
 use crate::json::Json;
 use crate::record::RunRecord;
+
+pub use sttlock_exec::CacheKey;
 
 /// Bump when the record layout or keying scheme changes.
 pub const CACHE_VERSION: u32 = 1;
@@ -31,43 +37,18 @@ pub struct Cache {
     dir: PathBuf,
 }
 
-/// A computed cache key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CacheKey(u64, u64);
-
-impl CacheKey {
-    /// Hex file-name form of the key.
-    pub fn hex(&self) -> String {
-        format!("{:016x}{:016x}", self.0, self.1)
-    }
-}
-
-/// Hashes one content chunk into both FNV-1a streams. The two streams
-/// use different offset bases, so a collision must defeat both.
-fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
-
 /// Computes the key for one cell from its descriptor and the generated
 /// netlist text.
+///
+/// The raw-chunk feed reproduces the pre-exec byte stream exactly
+/// (`v{CACHE_VERSION}\x1f`, descriptor, `\x1f`, bench text), so every
+/// cache directory written before the exec refactor stays valid.
 pub fn cell_key(descriptor: &str, bench_text: &str) -> CacheKey {
-    let version = format!("v{CACHE_VERSION}\u{1f}");
-    let mut a = 0xcbf29ce484222325u64;
-    let mut b = 0x6c62272e07bb0142u64; // distinct offset basis
-    for chunk in [
-        version.as_bytes(),
-        descriptor.as_bytes(),
-        b"\x1f",
-        bench_text.as_bytes(),
-    ] {
-        a = fnv1a(a, chunk);
-        b = fnv1a(b, chunk).rotate_left(17);
-    }
-    CacheKey(a, b)
+    KeyBuilder::new(CACHE_VERSION)
+        .chunk(descriptor.as_bytes())
+        .chunk(b"\x1f")
+        .chunk(bench_text.as_bytes())
+        .finish()
 }
 
 impl Cache {

@@ -1,34 +1,39 @@
 //! Grid execution: work-stealing parallelism with per-cell fault
 //! isolation.
 //!
-//! The worker pool mirrors `IncrementalSta::batch_eval`: scoped OS
-//! threads pulling cell indices from a shared atomic counter (rayon is
-//! not available offline). Each cell additionally runs on its own
-//! *detached* thread so the worker can abandon it on timeout:
+//! The worker pool is [`sttlock_exec::scoped_map`]: scoped OS threads
+//! pulling cell indices from a shared atomic counter, each index
+//! wrapped in `catch_unwind` (rayon is not available offline). Each
+//! cell additionally runs on its own *detached* thread so the worker
+//! can abandon it on timeout:
 //!
 //! * a panic inside the cell is contained by `catch_unwind` and becomes
 //!   a [`RunStatus::Panicked`] record (the stock panic hook still
 //!   prints the backtrace to stderr — the campaign does not install a
 //!   global hook, which would race with concurrent tests); a panic that
-//!   poisons a shared lock (journal, result slots, generation pool) is
-//!   recovered from the `PoisonError` — the protected data is a file
-//!   handle or plain slots, both valid after an unwind — and counted as
+//!   poisons a shared lock (journal, generation pool) is recovered from
+//!   the `PoisonError` — the protected data is a file handle or an
+//!   insert-only map, both valid after an unwind — and counted as
 //!   `campaign.poison_recovered`;
 //! * a cell that exceeds the budget becomes [`RunStatus::TimedOut`];
-//!   the runner abandons its detached thread but leaves a cancel flag
-//!   behind, checked between stages (and inside the injected-timeout
-//!   loop), so the thread winds down promptly instead of burning CPU
-//!   until process exit. Live abandoned threads are visible as the
-//!   `campaign.abandoned_cells` gauge.
+//!   the runner abandons its detached thread but cancels the cell's
+//!   [`Budget`], checked between stages (and inside every timing-oracle
+//!   and repair loop), so the thread winds down promptly instead of
+//!   burning CPU until process exit. Live abandoned threads are visible
+//!   as the `campaign.abandoned_cells` gauge.
+//!
+//! The per-cell budget carries **no deadline** — only the runner's
+//! timeout watchdog decides when a cell is late, so the timed-out
+//! record is always the runner's [`RunStatus::TimedOut`] row and never
+//! races a cell-side budget error at the boundary.
 
 use std::collections::HashMap;
 use std::fs;
 use std::io::Write;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -39,7 +44,8 @@ use sttlock_attack::estimate;
 use sttlock_attack::sat_attack::{self, SatAttackConfig, SequentialAttackConfig};
 use sttlock_attack::sensitization::{self, SensitizationConfig};
 use sttlock_benchgen::{profiles, Profile};
-use sttlock_core::{verify_and_repair, Flow, FlowOutcome, RepairConfig};
+use sttlock_core::{verify_and_repair_budgeted, Flow, FlowError, FlowOutcome, RepairConfig};
+use sttlock_exec::Budget;
 use sttlock_fault::FaultInjector;
 use sttlock_netlist::{bench_format, Netlist};
 use sttlock_techlib::Library;
@@ -154,8 +160,6 @@ pub fn execute(spec: &CampaignSpec) -> CampaignResult {
     }
     .min(cells.len().max(1));
 
-    let slots: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; cells.len()]);
-    let next = AtomicUsize::new(0);
     let pool: GenPool = Arc::new(Mutex::new(HashMap::new()));
 
     let root = sttlock_obs::span!(
@@ -165,57 +169,80 @@ pub fn execute(spec: &CampaignSpec) -> CampaignResult {
     );
     let ctx = sttlock_obs::current_context();
 
-    thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let _adopted = sttlock_obs::adopt(ctx);
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(cell) = cells.get(i) else { break };
-                    // The cell body is isolated by `run_cell_isolated`;
-                    // this outer guard covers the worker's own
-                    // bookkeeping (span close, journal append, slot
-                    // fill), where a panic — e.g. a collector sink
-                    // throwing on span close — must cost at most this
-                    // one slot, not unwind the whole scope.
-                    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-                        let mut cell_span = sttlock_obs::span!(
-                            "campaign.cell",
-                            circuit = cell.circuit.name(),
-                            algorithm = cell.algorithm.to_string(),
-                            seed = cell.seed,
-                            queue_us = start.elapsed().as_micros() as u64,
+    // The exec runtime's work-stealing map: workers pull cell indices
+    // from a shared counter, each index is isolated by `catch_unwind`,
+    // and results come back in grid order. The cell body has its own
+    // isolation boundary (`run_cell_isolated`); the map's per-index
+    // guard covers the worker's bookkeeping — span close, journal
+    // append — where a panic (e.g. a collector sink throwing on span
+    // close) must cost at most this one slot, not unwind the scope.
+    let outcomes = sttlock_exec::scoped_map(workers, cells.len(), |i| {
+        let _adopted = sttlock_obs::adopt(ctx);
+        let cell = &cells[i];
+        let mut cell_span = sttlock_obs::span!(
+            "campaign.cell",
+            circuit = cell.circuit.name(),
+            algorithm = cell.algorithm.to_string(),
+            seed = cell.seed,
+            queue_us = start.elapsed().as_micros() as u64,
+        );
+        let record = match replay.get(&cell_journal_key(cell)) {
+            Some(done) if done.status.is_ok() && done.flow.is_some() => {
+                cell_span.record("replayed", true);
+                done.clone()
+            }
+            hit => {
+                let r = match hit {
+                    Some(done) if done.status.is_ok() => {
+                        // An ok record with no flow metrics can only
+                        // come from a version-skewed journal (an older
+                        // format, or a hand edit): replaying it would
+                        // feed `None` into every consumer that treats
+                        // ok as "metrics present". Degrade to a
+                        // structured per-cell failure instead.
+                        sttlock_obs::counter("campaign.skewed_replays", 1);
+                        let mut r = RunRecord::failure(
+                            cell.circuit.name(),
+                            &cell.algorithm.to_string(),
+                            cell.seed,
+                            cell.attack.tag(),
+                            RunStatus::Failed(
+                                "journal entry is version-skewed: ok status without flow \
+                                 metrics; re-run this cell without --resume"
+                                    .to_owned(),
+                            ),
                         );
-                        let record = match replay.get(&cell_journal_key(cell)) {
-                            Some(done) if done.status.is_ok() => {
-                                cell_span.record("replayed", true);
-                                done.clone()
-                            }
-                            _ => {
-                                let r =
-                                    run_cell_isolated(cell, spec.timeout, cache.as_ref(), &pool);
-                                if let Some(journal) = &journal {
-                                    let mut file = recover_lock(journal);
-                                    let _ = writeln!(file, "{}", r.to_json());
-                                    let _ = file.flush();
-                                }
-                                r
-                            }
-                        };
-                        cell_span.record("status", record.status.tag());
-                        drop(cell_span);
-                        recover_lock(&slots)[i] = Some(record);
-                    }));
-                    if outcome.is_err() {
-                        sttlock_obs::counter("campaign.worker_panic", 1);
+                        r.config = cell.overrides.descriptor();
+                        if !cell.fault.is_noop() {
+                            r.fault = cell.fault.descriptor();
+                        }
+                        r
                     }
+                    _ => run_cell_isolated(cell, spec.timeout, cache.as_ref(), &pool),
+                };
+                if let Some(journal) = &journal {
+                    let mut file = recover_lock(journal);
+                    let _ = writeln!(file, "{}", r.to_json());
+                    let _ = file.flush();
                 }
-            });
-        }
+                r
+            }
+        };
+        cell_span.record("status", record.status.tag());
+        record
     });
     drop(root);
 
-    let slots = slots.into_inner().unwrap_or_else(PoisonError::into_inner);
+    let slots = outcomes
+        .into_iter()
+        .map(|slot| match slot {
+            Ok(record) => Some(record),
+            Err(_) => {
+                sttlock_obs::counter("campaign.worker_panic", 1);
+                None
+            }
+        })
+        .collect();
     CampaignResult {
         records: finalize_records(&cells, slots),
         wall: start.elapsed(),
@@ -255,12 +282,14 @@ fn finalize_records(cells: &[Cell], slots: Vec<Option<RunRecord>>) -> Vec<RunRec
 
 /// Runs one cell on a detached thread with a wall-clock budget.
 ///
-/// On timeout the thread is abandoned, not killed: the runner raises a
-/// cancel flag the cell checks between stages, so the thread winds down
-/// at the next stage boundary. The `campaign.abandoned_cells` gauge is
-/// incremented *before* the flag is raised and decremented by the cell
-/// thread once it observes the flag, so the gauge never goes negative
-/// and drains to zero when every abandoned thread has exited.
+/// On timeout the thread is abandoned, not killed: the runner cancels
+/// the cell's [`Budget`], which the cell checks between stages and
+/// inside every timing-oracle, repair and attack loop, so the thread
+/// winds down at the next check. The `campaign.abandoned_cells` gauge
+/// is incremented *before* the budget is cancelled and decremented by
+/// the cell thread once it observes the cancellation, so the gauge
+/// never goes negative and drains to zero when every abandoned thread
+/// has exited.
 fn run_cell_isolated(
     cell: &Cell,
     timeout: Duration,
@@ -269,11 +298,14 @@ fn run_cell_isolated(
 ) -> RunRecord {
     let start = Instant::now();
     let (tx, rx) = mpsc::channel();
-    let cancel = Arc::new(AtomicBool::new(false));
+    // Deliberately cancel-only (no deadline): the runner's watchdog
+    // below is the sole judge of lateness, so the recorded status can
+    // never race between its TimedOut row and a cell-side budget error.
+    let budget = Budget::unbounded();
     let owned_cell = cell.clone();
     let owned_cache = cache.cloned();
     let owned_pool = Arc::clone(pool);
-    let owned_cancel = Arc::clone(&cancel);
+    let owned_budget = budget.clone();
     let ctx = sttlock_obs::current_context();
     thread::spawn(move || {
         let _adopted = sttlock_obs::adopt(ctx);
@@ -282,12 +314,12 @@ fn run_cell_isolated(
                 &owned_cell,
                 owned_cache.as_ref(),
                 &owned_pool,
-                &owned_cancel,
+                &owned_budget,
             )
         }));
         // The receiver may have given up (timeout); that is fine.
         let _ = tx.send(result);
-        if owned_cancel.load(Ordering::SeqCst) {
+        if owned_budget.is_cancelled() {
             sttlock_obs::gauge("campaign.abandoned_cells", -1);
         }
     });
@@ -309,7 +341,7 @@ fn run_cell_isolated(
         Err(_) => {
             sttlock_obs::counter("campaign.timeout", 1);
             sttlock_obs::gauge("campaign.abandoned_cells", 1);
-            cancel.store(true, Ordering::SeqCst);
+            budget.cancel();
             let mut r = RunRecord::failure(
                 cell.circuit.name(),
                 &cell.algorithm.to_string(),
@@ -407,7 +439,7 @@ fn generate(
     circuit: &CircuitSpec,
     seed: u64,
     pool: &GenPool,
-    cancel: &AtomicBool,
+    budget: &Budget,
 ) -> Result<Arc<Netlist>, String> {
     let key = (format!("{circuit:?}"), seed);
     if let Some(hit) = recover_lock(pool).get(&key) {
@@ -427,11 +459,9 @@ fn generate(
         CircuitSpec::InjectPanic => panic!("injected panic cell"),
         CircuitSpec::InjectTimeout => {
             // Never finishes on its own; once the runner abandons this
-            // thread and raises the cancel flag, wind down promptly
-            // instead of sleeping for an hour at a time.
-            while !cancel.load(Ordering::SeqCst) {
-                thread::sleep(Duration::from_millis(10));
-            }
+            // thread and cancels its budget, the cancel-aware sleep
+            // returns within ~10 ms instead of dozing for an hour.
+            while budget.sleep(Duration::from_secs(3600)) {}
             return Err("cancelled after timeout".to_owned());
         }
         CircuitSpec::InjectPoison => {
@@ -450,11 +480,12 @@ fn generate(
 
 /// Runs one cell to completion: generate → cache probe → flow → attack.
 ///
-/// `cancel` is the runner's abandon flag; it is polled between stages so
-/// an abandoned cell stops promptly. The early-return record of a
-/// cancelled cell is discarded — the runner already recorded the
-/// timeout row.
-fn run_cell(cell: &Cell, cache: Option<&Cache>, pool: &GenPool, cancel: &AtomicBool) -> RunRecord {
+/// `budget` is the runner's cancel-only abandon budget; it is threaded
+/// into every stage (flow selection, repair rounds, attack oracle
+/// queries all check it) so an abandoned cell stops mid-stage. The
+/// early-return record of a cancelled cell is discarded — the runner
+/// already recorded the timeout row.
+fn run_cell(cell: &Cell, cache: Option<&Cache>, pool: &GenPool, budget: &Budget) -> RunRecord {
     let start = Instant::now();
     let algorithm = cell.algorithm.to_string();
     let fail = |status| {
@@ -472,12 +503,12 @@ fn run_cell(cell: &Cell, cache: Option<&Cache>, pool: &GenPool, cancel: &AtomicB
 
     let netlist = {
         let _s = sttlock_obs::span!("cell.generate");
-        match generate(&cell.circuit, cell.seed, pool, cancel) {
+        match generate(&cell.circuit, cell.seed, pool, budget) {
             Ok(n) => n,
             Err(message) => return fail(RunStatus::Failed(message)),
         }
     };
-    if cancel.load(Ordering::SeqCst) {
+    if budget.is_cancelled() {
         return fail(RunStatus::TimedOut);
     }
 
@@ -517,12 +548,16 @@ fn run_cell(cell: &Cell, cache: Option<&Cache>, pool: &GenPool, cancel: &AtomicB
     }
     let outcome = {
         let _s = sttlock_obs::span!("cell.flow");
-        match flow.run_shared(&netlist, cell.algorithm, cell.seed) {
+        match flow.run_budgeted(&netlist, cell.algorithm, cell.seed, budget) {
             Ok(o) => o,
+            // A budget trip mid-flow is the runner's abandonment, not a
+            // flow defect; the record is discarded either way, but keep
+            // the status honest.
+            Err(FlowError::Budget(_)) => return fail(RunStatus::TimedOut),
             Err(e) => return fail(RunStatus::Failed(format!("flow failed: {e}"))),
         }
     };
-    if cancel.load(Ordering::SeqCst) {
+    if budget.is_cancelled() {
         return fail(RunStatus::TimedOut);
     }
     let report = &outcome.report;
@@ -546,7 +581,7 @@ fn run_cell(cell: &Cell, cache: Option<&Cache>, pool: &GenPool, cancel: &AtomicB
         None
     } else {
         let _s = sttlock_obs::span!("cell.repair");
-        match run_fault(cell, &netlist, &outcome) {
+        match run_fault(cell, &netlist, &outcome, budget) {
             Ok(m) => Some(m),
             Err(message) => {
                 let mut r = fail(RunStatus::Failed(message));
@@ -557,12 +592,12 @@ fn run_cell(cell: &Cell, cache: Option<&Cache>, pool: &GenPool, cancel: &AtomicB
             }
         }
     };
-    if cancel.load(Ordering::SeqCst) {
+    if budget.is_cancelled() {
         return fail(RunStatus::TimedOut);
     }
 
     let attack_span = sttlock_obs::span!("cell.attack", kind = cell.attack.tag());
-    let attack_metrics = match run_attack(cell, &outcome.hybrid) {
+    let attack_metrics = match run_attack(cell, &outcome.hybrid, budget) {
         Ok(m) => m,
         Err(message) => {
             let mut r = fail(RunStatus::Failed(message));
@@ -609,18 +644,20 @@ fn run_fault(
     cell: &Cell,
     golden: &Netlist,
     outcome: &FlowOutcome,
+    budget: &Budget,
 ) -> Result<RepairMetrics, String> {
     let mut device = outcome.overlay.clone();
     let fault_seed = circuit_seed(cell.seed, cell.circuit.name()) ^ 0xFA17_5EED;
     let mut injector = FaultInjector::new(cell.fault, fault_seed);
     let injected = injector.corrupt(&mut device);
-    let report = verify_and_repair(
+    let report = verify_and_repair_budgeted(
         golden,
         &mut device,
         &outcome.bitstream,
         &mut injector,
         &RepairConfig::default(),
         fault_seed,
+        budget,
     )
     .map_err(|e| format!("repair failed: {e}"))?;
     let faulted = estimate::security_under_faults(&outcome.hybrid, cell.fault.row_fault_p());
@@ -640,16 +677,25 @@ fn run_fault(
 
 /// Runs the cell's attack against the (foundry view, programmed part)
 /// pair produced by the flow.
-fn run_attack(cell: &Cell, hybrid: &Netlist) -> Result<Option<AttackMetrics>, String> {
+fn run_attack(
+    cell: &Cell,
+    hybrid: &Netlist,
+    budget: &Budget,
+) -> Result<Option<AttackMetrics>, String> {
     let err = |e: sttlock_attack::AttackError| format!("attack failed: {e}");
     match cell.attack {
         AttackKind::None => Ok(None),
         AttackKind::Sensitization => {
             let foundry = hybrid.redact().0;
             let mut rng = StdRng::seed_from_u64(cell.seed ^ 0xA77A_C4ED);
-            let out =
-                sensitization::run(&foundry, hybrid, &SensitizationConfig::default(), &mut rng)
-                    .map_err(err)?;
+            let out = sensitization::run_with_budget(
+                &foundry,
+                hybrid,
+                &SensitizationConfig::default(),
+                budget,
+                &mut rng,
+            )
+            .map_err(err)?;
             Ok(Some(AttackMetrics {
                 broke: out.is_full_break(),
                 test_clocks: out.test_clocks,
@@ -1132,6 +1178,87 @@ mod tests {
         // Only the re-executed cell appended to the journal.
         let after = std::fs::read_to_string(&journal).unwrap();
         assert_eq!(after.lines().count(), 4);
+    }
+
+    #[test]
+    fn version_skewed_ok_journal_entries_degrade_to_structured_failures() {
+        let _guard = obs_lock();
+        let dir = std::env::temp_dir()
+            .join("sttlock-campaign-runner-tests")
+            .join(format!("{}-skewed", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = dir.join("journal.jsonl");
+        let spec = CampaignSpec {
+            journal: Some(journal.clone()),
+            jobs: 1,
+            ..quick_spec(vec![small("skew-a"), small("skew-b")])
+        };
+        let first = execute(&spec);
+        assert_eq!(first.ok_count(), 2);
+
+        // Strip the flow metrics from one ok record the way an older
+        // journal format would lack them: the status stays ok but the
+        // payload no longer matches what consumers of ok rows expect.
+        let lines = std::fs::read_to_string(&journal).unwrap();
+        let mut rewritten = String::new();
+        for (i, line) in lines.lines().enumerate() {
+            let mut r = RunRecord::from_json(&Json::parse(line).unwrap()).unwrap();
+            if i == 0 {
+                r.flow = None;
+            }
+            rewritten.push_str(&r.to_json().to_string());
+            rewritten.push('\n');
+        }
+        std::fs::write(&journal, &rewritten).unwrap();
+
+        let collector = sttlock_obs::TraceCollector::new();
+        sttlock_obs::install(collector.clone());
+        let resumed = execute(&CampaignSpec {
+            resume: true,
+            ..spec
+        });
+        sttlock_obs::uninstall();
+        assert!(
+            matches!(&resumed.records[0].status, RunStatus::Failed(m) if m.contains("version-skewed")),
+            "the skewed entry must degrade, not replay: {:?}",
+            resumed.records[0].status
+        );
+        assert!(
+            resumed.records[1].status.is_ok(),
+            "the intact entry still replays"
+        );
+        assert_eq!(collector.counter_value("campaign.skewed_replays"), 1);
+    }
+
+    #[test]
+    fn parallel_and_serial_grids_emit_byte_identical_jsonl() {
+        // Differential check for the exec-pool worker loop: the same
+        // grid on one worker and on four must produce byte-identical
+        // records (modulo wall-clock fields) in identical order.
+        let grid = |jobs: usize| CampaignSpec {
+            jobs,
+            algorithms: sttlock_core::SelectionAlgorithm::ALL.to_vec(),
+            attacks: vec![AttackKind::None, AttackKind::Sensitization],
+            faults: vec![
+                sttlock_fault::FaultModel::default(),
+                sttlock_fault::FaultModel::write_failures(0.05),
+            ],
+            ..quick_spec(vec![small("diff-a"), small("diff-b")])
+        };
+        let zeroed = |spec: &CampaignSpec| {
+            let mut result = execute(spec);
+            for r in &mut result.records {
+                r.wall_ms = 0;
+                if let Some(flow) = &mut r.flow {
+                    flow.selection_ms = 0.0;
+                }
+            }
+            result.to_jsonl()
+        };
+        let serial = zeroed(&grid(1));
+        let parallel = zeroed(&grid(4));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.lines().count(), 24);
     }
 
     #[test]

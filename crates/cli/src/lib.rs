@@ -1025,6 +1025,101 @@ fn cmd_serve(argv: &[String]) -> Result<String, CliError> {
     // must not trigger an instant shutdown.
     let stop = server.stop_handle();
     let interactive = std::io::IsTerminal::is_terminal(&std::io::stdin());
+    let watcher = spawn_stdin_watcher(stop, interactive);
+    let digest = server.wait();
+    // The watcher polls the stop token between non-blocking reads, so
+    // it exits on its own once the server drains — joining it here
+    // means a served-then-shut-down process ends with zero live
+    // threads instead of leaking one blocked in `read(2)`.
+    if let Some(watcher) = watcher {
+        let _ = watcher.join();
+    }
+    Ok(format!("sttlock-serve drained cleanly: {digest}\n"))
+}
+
+/// Watches stdin for a stop command (`quit`/`stop`/`shutdown`, or EOF
+/// when interactive) without ever blocking in `read(2)`: the stream is
+/// re-opened `O_NONBLOCK` (a fresh open file description, so fd 0's
+/// flags are untouched) and the loop alternates short reads with
+/// [`sttlock_serve::StopHandle::is_stopped`] polls. The handle is
+/// joinable — the thread is guaranteed to exit once the server stops.
+///
+/// Returns `None` when the non-blocking re-open is unavailable (no
+/// `/dev/stdin`); the watcher then falls back to a detached blocking
+/// reader and shutdown relies on the admin endpoint.
+#[cfg(unix)]
+fn spawn_stdin_watcher(
+    stop: sttlock_serve::StopHandle,
+    interactive: bool,
+) -> Option<std::thread::JoinHandle<()>> {
+    use std::io::Read;
+    use std::os::unix::fs::OpenOptionsExt;
+    const O_NONBLOCK: i32 = 0o4000;
+    let file = std::fs::OpenOptions::new()
+        .read(true)
+        .custom_flags(O_NONBLOCK)
+        .open("/dev/stdin");
+    let Ok(mut file) = file else {
+        blocking_stdin_watcher(stop, interactive);
+        return None;
+    };
+    Some(std::thread::spawn(move || {
+        let mut pending = Vec::new();
+        let mut buf = [0u8; 256];
+        loop {
+            if stop.is_stopped() {
+                return; // server already draining; nothing to watch
+            }
+            match file.read(&mut buf) {
+                Ok(0) => {
+                    if interactive {
+                        break; // Ctrl-D: drain and exit
+                    }
+                    return; // detached stdin: admin endpoint only
+                }
+                Ok(n) => {
+                    pending.extend_from_slice(&buf[..n]);
+                    while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                        let line: Vec<u8> = pending.drain(..=pos).collect();
+                        if matches!(
+                            String::from_utf8_lossy(&line).trim(),
+                            "quit" | "stop" | "shutdown"
+                        ) {
+                            stop.stop();
+                            return;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+                Err(_) => {
+                    if interactive {
+                        break;
+                    }
+                    return;
+                }
+            }
+        }
+        stop.stop();
+    }))
+}
+
+/// Non-unix fallback: no `O_NONBLOCK` re-open, so keep the historical
+/// detached blocking reader.
+#[cfg(not(unix))]
+fn spawn_stdin_watcher(
+    stop: sttlock_serve::StopHandle,
+    interactive: bool,
+) -> Option<std::thread::JoinHandle<()>> {
+    blocking_stdin_watcher(stop, interactive);
+    None
+}
+
+/// Detached blocking stdin reader (leaks its thread if the server is
+/// stopped some other way — only used when the non-blocking path is
+/// unavailable).
+fn blocking_stdin_watcher(stop: sttlock_serve::StopHandle, interactive: bool) {
     std::thread::spawn(move || {
         let mut line = String::new();
         loop {
@@ -1042,8 +1137,6 @@ fn cmd_serve(argv: &[String]) -> Result<String, CliError> {
         }
         stop.stop();
     });
-    let digest = server.wait();
-    Ok(format!("sttlock-serve drained cleanly: {digest}\n"))
 }
 
 #[cfg(test)]

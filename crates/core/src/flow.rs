@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use sttlock_attack::estimate::security_estimate;
+use sttlock_exec::{Budget, BudgetError};
 use sttlock_fault::ProgrammingChannel;
 use sttlock_netlist::{CircuitView, HybridOverlay, Netlist, NodeId, TruthTable};
 use sttlock_power::{analyze_area, analyze_power, OverheadReport};
@@ -38,6 +39,9 @@ pub enum FlowError {
     /// against its golden model (interface mismatch, unprogrammed LUT in
     /// the reference, inconsistent equivalence witness).
     Verification(String),
+    /// The caller's [`Budget`] tripped — cancelled, past its deadline or
+    /// out of steps — and the flow stopped cooperatively mid-stage.
+    Budget(BudgetError),
 }
 
 impl fmt::Display for FlowError {
@@ -48,6 +52,7 @@ impl fmt::Display for FlowError {
                 write!(f, "selection produced no replaceable gate")
             }
             FlowError::Verification(what) => write!(f, "verification impossible: {what}"),
+            FlowError::Budget(e) => write!(f, "flow stopped: {e}"),
         }
     }
 }
@@ -56,6 +61,7 @@ impl Error for FlowError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             FlowError::Simulation(e) => Some(e),
+            FlowError::Budget(e) => Some(e),
             _ => None,
         }
     }
@@ -64,6 +70,12 @@ impl Error for FlowError {
 impl From<SimError> for FlowError {
     fn from(e: SimError) -> Self {
         FlowError::Simulation(e)
+    }
+}
+
+impl From<BudgetError> for FlowError {
+    fn from(e: BudgetError) -> Self {
+        FlowError::Budget(e)
     }
 }
 
@@ -152,8 +164,30 @@ impl Flow {
         algorithm: SelectionAlgorithm,
         seed: u64,
     ) -> Result<FlowOutcome, FlowError> {
+        self.run_budgeted(base, algorithm, seed, &Budget::unbounded())
+    }
+
+    /// [`run_shared`](Flow::run_shared) under a cooperative [`Budget`]:
+    /// the budget is checked between stages and inside the selection's
+    /// timing-oracle loop (every cone query checks and charges), so a
+    /// cancelled or expired request stops mid-selection rather than
+    /// running the stage to completion. With an untripped budget the
+    /// outcome is byte-identical to [`run_shared`](Flow::run_shared).
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Flow::run), plus [`FlowError::Budget`] when the budget
+    /// trips.
+    pub fn run_budgeted(
+        &self,
+        base: &Arc<Netlist>,
+        algorithm: SelectionAlgorithm,
+        seed: u64,
+        budget: &Budget,
+    ) -> Result<FlowOutcome, FlowError> {
         let netlist: &Netlist = base;
         let mut rng = StdRng::seed_from_u64(seed);
+        budget.check()?;
 
         // Baseline analyses on the pure-CMOS netlist, all sharing one
         // memoized graph view (fanout/topo computed once).
@@ -166,25 +200,28 @@ impl Flow {
         };
         let base_power = analyze_power(netlist, &self.lib, &activity);
         let base_area = analyze_area(netlist, &self.lib);
+        budget.check()?;
 
         // Selection (timed: this is the Table II measurement). The
         // baseline analysis above seeds the selection's incremental
         // timing engine instead of being recomputed.
         let sel_span = sttlock_obs::span!("flow.selection", algorithm = algorithm.to_string());
         let t0 = Instant::now();
-        let selection = select::run_with_view(
+        let selection = select::run_with_view_budgeted(
             &view,
             &self.lib,
             algorithm,
             &self.selection,
             &mut rng,
             &base_timing,
-        );
+            budget,
+        )?;
         let selection_time = t0.elapsed();
         drop(sel_span);
         if selection.gates.is_empty() {
             return Err(FlowError::NothingSelected);
         }
+        budget.check()?;
 
         // Replacement and hybrid analyses. The activity report indexes by
         // arena position, which replacement preserves; LUT power ignores
@@ -359,6 +396,38 @@ pub fn verify_and_repair(
     cfg: &RepairConfig,
     seed: u64,
 ) -> Result<RepairReport, FlowError> {
+    verify_and_repair_budgeted(
+        golden,
+        device,
+        bitstream,
+        channel,
+        cfg,
+        seed,
+        &Budget::unbounded(),
+    )
+}
+
+/// [`verify_and_repair`] under a cooperative [`Budget`]: each round
+/// checks the budget first, every differential frame charges a step,
+/// and the exponential backoff sleeps through [`Budget::sleep`] so a
+/// cancelled request wakes (and returns) within ~10 ms instead of
+/// sleeping out the full clamped backoff. With an untripped budget the
+/// report is identical to [`verify_and_repair`].
+///
+/// # Errors
+///
+/// As [`verify_and_repair`], plus [`FlowError::Budget`] when the budget
+/// trips.
+#[allow(clippy::too_many_arguments)]
+pub fn verify_and_repair_budgeted(
+    golden: &Netlist,
+    device: &mut HybridOverlay,
+    bitstream: &[(NodeId, TruthTable)],
+    channel: &mut dyn ProgrammingChannel,
+    cfg: &RepairConfig,
+    seed: u64,
+    budget: &Budget,
+) -> Result<RepairReport, FlowError> {
     let base = Arc::clone(device.base());
     if golden.inputs().len() != base.inputs().len()
         || golden.outputs().len() != base.outputs().len()
@@ -391,6 +460,7 @@ pub fn verify_and_repair(
     let mut last_mismatches = 0usize;
 
     for round in 0..=cfg.max_retries {
+        budget.check()?;
         let mut round_span = sttlock_obs::span!("repair.round", round = round as u64);
         let materialized = device.materialize();
         let mut device_sim = Simulator::with_order(&materialized, Arc::clone(&order))
@@ -409,6 +479,7 @@ pub fn verify_and_repair(
         {
             let _verify = sttlock_obs::span!("repair.verify", frames = frames.len() as u64);
             for (ins, st) in &frames {
+                budget.check()?;
                 diff_frame(
                     &mut golden_sim,
                     &mut device_sim,
@@ -418,6 +489,7 @@ pub fn verify_and_repair(
                     &mut failing,
                 )?;
                 vectors_run += 64;
+                budget.charge(64);
             }
         }
 
@@ -445,6 +517,7 @@ pub fn verify_and_repair(
                         &mut failing,
                     )?;
                     vectors_run += 64;
+                    budget.charge(64);
                     if failing.is_empty() {
                         return Err(FlowError::Verification(
                             "equivalence witness does not distinguish the designs".to_owned(),
@@ -507,7 +580,15 @@ pub fn verify_and_repair(
         let backoff = backoff_for_round(cfg, round as u32);
         if !backoff.is_zero() {
             sttlock_obs::counter("repair.backoff_sleeps", 1);
-            std::thread::sleep(backoff);
+            // Cancel-aware: a tripped budget wakes the sleep early and
+            // the loop returns instead of re-programming.
+            if !budget.sleep(backoff) {
+                return Err(FlowError::Budget(
+                    budget
+                        .check()
+                        .expect_err("sleep only aborts on a tripped budget"),
+                ));
+            }
         }
         for &id in &suspects {
             let Some(&table) = intended.get(&id) else {
@@ -833,6 +914,86 @@ mod tests {
             }
         }
         !points.iter().any(|p| cone.binary_search(p).is_ok())
+    }
+
+    #[test]
+    fn budgeted_flow_matches_unbudgeted_and_honours_cancel() {
+        let n = Arc::new(circuit());
+        let flow = Flow::new(Library::predictive_90nm());
+        let plain = flow
+            .run_shared(&n, SelectionAlgorithm::ParametricAware, 7)
+            .unwrap();
+        let budget = Budget::unbounded();
+        let budgeted = flow
+            .run_budgeted(&n, SelectionAlgorithm::ParametricAware, 7, &budget)
+            .unwrap();
+        assert_eq!(plain.hybrid, budgeted.hybrid);
+        assert_eq!(plain.bitstream, budgeted.bitstream);
+        assert!(budget.steps_spent() > 0, "selection queries must charge");
+
+        let cancelled = Budget::unbounded();
+        cancelled.cancel();
+        let err = flow.run_budgeted(&n, SelectionAlgorithm::ParametricAware, 7, &cancelled);
+        assert_eq!(err, Err(FlowError::Budget(BudgetError::Cancelled)));
+    }
+
+    #[test]
+    fn budgeted_repair_stops_on_cancel_and_sleeps_cancel_aware() {
+        let n = circuit();
+        let flow = Flow::new(Library::predictive_90nm());
+        let out = flow
+            .run(&n, SelectionAlgorithm::ParametricAware, 9)
+            .unwrap();
+        let mut device = out.overlay.clone();
+        let mut channel = sttlock_fault::PerfectChannel;
+        let cancelled = Budget::unbounded();
+        cancelled.cancel();
+        let err = verify_and_repair_budgeted(
+            &n,
+            &mut device,
+            &out.bitstream,
+            &mut channel,
+            &RepairConfig::default(),
+            1,
+            &cancelled,
+        );
+        assert_eq!(err, Err(FlowError::Budget(BudgetError::Cancelled)));
+
+        // A faulted device with a long backoff: cancellation mid-sleep
+        // must abort the round promptly instead of sleeping it out.
+        let (victim, table) = out.bitstream[0];
+        let mut device = out.overlay.clone();
+        device.set_lut_config(
+            victim,
+            sttlock_netlist::TruthTable::new(table.inputs(), table.bits() ^ 1),
+        );
+        let cfg = RepairConfig {
+            backoff_base: Duration::from_secs(3600),
+            max_backoff: Duration::from_secs(3600),
+            ..RepairConfig::default()
+        };
+        let budget = Budget::unbounded();
+        let token = budget.token();
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            token.cancel();
+        });
+        let t0 = Instant::now();
+        let err = verify_and_repair_budgeted(
+            &n,
+            &mut device,
+            &out.bitstream,
+            &mut channel,
+            &cfg,
+            1,
+            &budget,
+        );
+        waker.join().unwrap();
+        assert_eq!(err, Err(FlowError::Budget(BudgetError::Cancelled)));
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "cancel must interrupt the backoff sleep"
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! evaluates the same max-fold expression on the same operand sets), so
 //! a fixed seed yields byte-identical selections whichever oracle runs.
 
+use sttlock_exec::{Budget, BudgetError};
 use sttlock_netlist::{Netlist, NodeId};
 use sttlock_sta::{analyze, IncrementalSta};
 use sttlock_techlib::Library;
@@ -52,6 +53,30 @@ pub trait TimingOracle {
                 period
             })
             .collect()
+    }
+
+    /// [`eval_single_swaps`](TimingOracle::eval_single_swaps) under a
+    /// cooperative [`Budget`]: each probe checks the budget first (so a
+    /// cancelled request stops between cone queries) and charges one
+    /// step. With `None` the answers must be identical to the
+    /// unbudgeted path.
+    fn eval_single_swaps_budgeted(
+        &mut self,
+        candidates: &[NodeId],
+        budget: Option<&Budget>,
+    ) -> Result<Vec<f64>, BudgetError> {
+        let Some(budget) = budget else {
+            return Ok(self.eval_single_swaps(candidates));
+        };
+        let mut periods = Vec::with_capacity(candidates.len());
+        for &id in candidates {
+            budget.check()?;
+            budget.charge(1);
+            self.swap_to_lut(id);
+            periods.push(self.clock_period_ns());
+            self.revert_to_gate(id);
+        }
+        Ok(periods)
     }
 }
 
@@ -116,6 +141,14 @@ impl TimingOracle for IncrementalSta<'_> {
 
     fn eval_single_swaps(&mut self, candidates: &[NodeId]) -> Vec<f64> {
         self.batch_eval(candidates)
+    }
+
+    fn eval_single_swaps_budgeted(
+        &mut self,
+        candidates: &[NodeId],
+        budget: Option<&Budget>,
+    ) -> Result<Vec<f64>, BudgetError> {
+        self.batch_eval_with(candidates, budget)
     }
 }
 

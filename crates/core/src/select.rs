@@ -10,6 +10,7 @@ use std::collections::HashSet;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+use sttlock_exec::{Budget, BudgetError};
 use sttlock_netlist::paths::{retain_avoiding, sample_io_paths_with, IoPath, PathSamplerConfig};
 use sttlock_netlist::{CircuitView, Netlist, NodeId};
 use sttlock_sta::{analyze_with, degradation_pct_from_periods, IncrementalSta, TimingAnalysis};
@@ -259,7 +260,27 @@ pub fn parametric<'a, R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Selection {
     let mut oracle = IncrementalSta::from_analysis_with(view, lib, timing);
-    parametric_with(view, timing, cfg, rng, &mut oracle)
+    parametric_with(view, timing, cfg, rng, &mut oracle, None)
+        .expect("an unbudgeted parametric selection cannot be cancelled")
+}
+
+/// [`parametric`] under a cooperative [`Budget`]: every oracle question
+/// (path-draw timing check or USL-closure wave probe) first checks the
+/// budget and then charges one step, so a cancelled or expired request
+/// stops mid-selection — between cone queries, not at stage boundaries.
+///
+/// Given an untripped budget the drawing sequence is identical to
+/// [`parametric`], so the selection bytes match.
+pub fn parametric_budgeted<'a, R: Rng + ?Sized>(
+    view: &CircuitView<'a>,
+    lib: &'a Library,
+    timing: &TimingAnalysis,
+    cfg: &SelectionConfig,
+    rng: &mut R,
+    budget: &Budget,
+) -> Result<Selection, BudgetError> {
+    let mut oracle = IncrementalSta::from_analysis_with(view, lib, timing);
+    parametric_with(view, timing, cfg, rng, &mut oracle, Some(budget))
 }
 
 /// [`parametric`] driven by the full-reanalysis oracle ([`FullSta`]):
@@ -277,7 +298,8 @@ pub fn parametric_full_sta<'a, R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Selection {
     let mut oracle = FullSta::new(view.netlist(), lib);
-    parametric_with(view, timing, cfg, rng, &mut oracle)
+    parametric_with(view, timing, cfg, rng, &mut oracle, None)
+        .expect("an unbudgeted parametric selection cannot be cancelled")
 }
 
 /// Algorithm 2 over any [`TimingOracle`].
@@ -291,7 +313,11 @@ fn parametric_with<R: Rng + ?Sized, O: TimingOracle>(
     cfg: &SelectionConfig,
     rng: &mut R,
     oracle: &mut O,
-) -> Selection {
+    budget: Option<&Budget>,
+) -> Result<Selection, BudgetError> {
+    if let Some(b) = budget {
+        b.check()?;
+    }
     let netlist = view.netlist();
     let paths = candidate_paths(view, timing, cfg, rng);
     let paths_considered = paths.len();
@@ -352,6 +378,10 @@ fn parametric_with<R: Rng + ?Sized, O: TimingOracle>(
             let mut accepted: Vec<NodeId> = Vec::new();
             'shrink: while take > 0 {
                 for _ in 0..cfg.max_retries.max(1) {
+                    if let Some(b) = budget {
+                        b.check()?;
+                        b.charge(1);
+                    }
                     let draw: Vec<NodeId> =
                         candidates.choose_multiple(rng, take).copied().collect();
                     if try_accept(oracle, &draw) {
@@ -398,7 +428,7 @@ fn parametric_with<R: Rng + ?Sized, O: TimingOracle>(
     // and each wave's probes run in parallel on the incremental oracle.
     let mut pending = neighbours;
     while !pending.is_empty() {
-        let periods = oracle.eval_single_swaps(&pending);
+        let periods = oracle.eval_single_swaps_budgeted(&pending, budget)?;
         let first_pass = periods.iter().position(|&p| fits(p));
         match first_pass {
             None => break,
@@ -415,12 +445,12 @@ fn parametric_with<R: Rng + ?Sized, O: TimingOracle>(
     let mut gates: Vec<NodeId> = selected.into_iter().collect();
     gates.sort_unstable();
     closure.sort_unstable();
-    Selection {
+    Ok(Selection {
         algorithm: SelectionAlgorithm::ParametricAware,
         gates,
         usl_closure: closure,
         paths_considered,
-    }
+    })
 }
 
 fn is_replaceable(netlist: &Netlist, id: NodeId) -> bool {
@@ -471,6 +501,39 @@ pub fn run_with_view<'a, R: Rng + ?Sized>(
         SelectionAlgorithm::Independent => independent(view, timing, cfg, rng),
         SelectionAlgorithm::Dependent => dependent(view, timing, cfg, rng),
         SelectionAlgorithm::ParametricAware => parametric(view, lib, timing, cfg, rng),
+    }
+}
+
+/// [`run_with_view`] under a cooperative [`Budget`].
+///
+/// The parametric algorithm checks (and charges) the budget on every
+/// timing-oracle question; the cheaper sampling-only algorithms check
+/// before and after their path work. Given an untripped budget the
+/// selection is identical to [`run_with_view`].
+pub fn run_with_view_budgeted<'a, R: Rng + ?Sized>(
+    view: &CircuitView<'a>,
+    lib: &'a Library,
+    algorithm: SelectionAlgorithm,
+    cfg: &SelectionConfig,
+    rng: &mut R,
+    timing: &TimingAnalysis,
+    budget: &Budget,
+) -> Result<Selection, BudgetError> {
+    budget.check()?;
+    match algorithm {
+        SelectionAlgorithm::Independent => {
+            let sel = independent(view, timing, cfg, rng);
+            budget.check()?;
+            Ok(sel)
+        }
+        SelectionAlgorithm::Dependent => {
+            let sel = dependent(view, timing, cfg, rng);
+            budget.check()?;
+            Ok(sel)
+        }
+        SelectionAlgorithm::ParametricAware => {
+            parametric_budgeted(view, lib, timing, cfg, rng, budget)
+        }
     }
 }
 
@@ -687,6 +750,52 @@ mod tests {
         // The inverter itself stays CMOS: it is USL, not a draw candidate.
         let inv = n.find("inv").unwrap();
         assert!(!sel.gates.contains(&inv));
+    }
+
+    #[test]
+    fn budgeted_selection_matches_unbudgeted_and_honours_cancel() {
+        let n = circuit();
+        let lib = Library::predictive_90nm();
+        let timing = analyze(&n, &lib);
+        let view = CircuitView::new(&n);
+        let cfg = SelectionConfig::default();
+        for alg in SelectionAlgorithm::ALL {
+            let plain = run_with_view(
+                &view,
+                &lib,
+                alg,
+                &cfg,
+                &mut StdRng::seed_from_u64(11),
+                &timing,
+            );
+            let budget = Budget::unbounded();
+            let budgeted = run_with_view_budgeted(
+                &view,
+                &lib,
+                alg,
+                &cfg,
+                &mut StdRng::seed_from_u64(11),
+                &timing,
+                &budget,
+            )
+            .unwrap();
+            assert_eq!(plain, budgeted, "{alg}");
+            if alg == SelectionAlgorithm::ParametricAware {
+                assert!(budget.steps_spent() > 0, "oracle queries must charge");
+            }
+        }
+        let cancelled = Budget::unbounded();
+        cancelled.cancel();
+        let err = run_with_view_budgeted(
+            &view,
+            &lib,
+            SelectionAlgorithm::ParametricAware,
+            &cfg,
+            &mut StdRng::seed_from_u64(11),
+            &timing,
+            &cancelled,
+        );
+        assert_eq!(err, Err(BudgetError::Cancelled));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -166,15 +166,22 @@ fn main() -> ExitCode {
                         ),
                     )
                 };
+                // A client thread that panicked mid-push poisons the
+                // collection mutexes; the driver still wants every
+                // sample it actually gathered, so recover the guard
+                // instead of cascading the panic.
                 match client::request(&opts.addr, "POST", path, Some(&body), TIMEOUT) {
-                    Ok(resp) => samples.lock().unwrap().push(Sample {
-                        status: resp.status,
-                        harden: !attack,
-                        cached: resp.body_text().contains("\"cached\":true"),
-                    }),
+                    Ok(resp) => samples
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(Sample {
+                            status: resp.status,
+                            harden: !attack,
+                            cached: resp.body_text().contains("\"cached\":true"),
+                        }),
                     Err(e) => failures
                         .lock()
-                        .unwrap()
+                        .unwrap_or_else(PoisonError::into_inner)
                         .push(format!("request {i} ({path}): {e}")),
                 }
             });
@@ -182,8 +189,10 @@ fn main() -> ExitCode {
     });
     let wall = started.elapsed();
 
-    let samples = samples.into_inner().unwrap();
-    let failures = failures.into_inner().unwrap();
+    let samples = samples.into_inner().unwrap_or_else(PoisonError::into_inner);
+    let failures = failures
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
     let mut ok = true;
 
     if !failures.is_empty() {

@@ -1,15 +1,17 @@
 //! Endpoint routing and the harden/attack request handlers.
 //!
-//! Handlers are plain functions from a parsed [`Request`] to a
-//! [`Response`]; the worker wraps the whole thing in `catch_unwind`, so
-//! a handler may panic without taking the pool down. Status mapping:
+//! Handlers are plain functions from a parsed [`Request`] (plus the
+//! request's deadline [`Budget`]) to a [`Response`]; the worker wraps
+//! the whole thing in `catch_unwind`, so a handler may panic without
+//! taking the pool down. Status mapping:
 //!
 //! * `400` — unparseable JSON, missing/unknown fields, bad netlist;
 //! * `422` — well-formed input the flow/attack could not process;
-//! * `504` — the per-request deadline expired; the body carries
+//! * `504` — the per-request budget tripped; the body carries
 //!   whatever partial metrics the stage had produced;
 //! * `500` — handler panic (from the worker's unwind guard).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -18,34 +20,40 @@ use rand::SeedableRng;
 use sttlock_attack::sat_attack::{self, SatAttackConfig, SequentialAttackConfig};
 use sttlock_attack::sensitization::{self, SensitizationConfig};
 use sttlock_attack::AttackError;
-use sttlock_campaign::cache::cell_key;
 use sttlock_campaign::json::Json;
-use sttlock_core::{Flow, SelectionAlgorithm};
+use sttlock_core::{Flow, FlowError, SelectionAlgorithm};
+use sttlock_exec::{Budget, KeyBuilder};
 use sttlock_netlist::{bench_format, Netlist};
 use sttlock_techlib::Library;
 
 use crate::http::{Request, Response};
 use crate::Shared;
 
+/// Version salt for the harden response-cache keying. v1 was the
+/// pre-exec string-descriptor scheme (`serve.harden|v1|…`); v2 keys the
+/// same inputs as typed [`KeyBuilder`] fields, so stale v1 entries are
+/// invisible rather than misparsed.
+const HARDEN_KEY_VERSION: u32 = 2;
+
 /// Routes one request. Unknown paths are 404; known paths with the
 /// wrong method are 405.
-pub(crate) fn route(shared: &Shared, req: &Request, deadline: Instant) -> Response {
+pub(crate) fn route(shared: &Shared, req: &Request, budget: &Budget) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(shared),
         ("GET", "/metrics") => metrics(shared),
         ("POST", "/v1/harden") => {
             sttlock_obs::counter("serve.endpoint.harden", 1);
-            harden(shared, req, deadline)
+            harden(shared, req, budget)
         }
         ("POST", "/v1/attack") => {
             sttlock_obs::counter("serve.endpoint.attack", 1);
-            attack(req, deadline)
+            attack(req, budget)
         }
         ("POST", "/admin/shutdown") => {
-            shared.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+            shared.stop.cancel();
             Response::json(200, "{\"draining\":true}".to_owned())
         }
-        ("POST", "/debug/sleep") if shared.debug_endpoints => debug_sleep(req, deadline),
+        ("POST", "/debug/sleep") if shared.debug_endpoints => debug_sleep(req, budget),
         ("POST", "/debug/panic") if shared.debug_endpoints => {
             panic!("injected handler panic")
         }
@@ -128,17 +136,19 @@ fn parse_flow_request(req: &Request) -> Result<FlowRequest, Response> {
 /// the bitstream plus overhead and security metrics. Idempotent per
 /// (bench, algorithm, seed): responses are cached under the campaign
 /// cache's content-hash keying, so repeats skip the flow entirely.
-fn harden(shared: &Shared, req: &Request, deadline: Instant) -> Response {
+fn harden(shared: &Shared, req: &Request, budget: &Budget) -> Response {
     let start = Instant::now();
     let fr = match parse_flow_request(req) {
         Ok(fr) => fr,
         Err(resp) => return resp,
     };
 
-    let key = cell_key(
-        &format!("serve.harden|v1|{}|{}", fr.algorithm, fr.seed),
-        &fr.bench,
-    );
+    let key = KeyBuilder::new(HARDEN_KEY_VERSION)
+        .field("endpoint", &"harden")
+        .field("algorithm", &fr.algorithm)
+        .field("seed", &fr.seed)
+        .text(&fr.bench)
+        .finish();
     if let Some(cache) = &shared.cache {
         if let Some(hit) = cache.lookup_text(key) {
             if let Ok(Json::Obj(mut m)) = Json::parse(&hit) {
@@ -158,9 +168,17 @@ fn harden(shared: &Shared, req: &Request, deadline: Instant) -> Response {
         Ok(n) => n,
         Err(resp) => return resp,
     };
+    let base = Arc::new(netlist);
     let flow = Flow::new(Library::predictive_90nm());
-    let outcome = match flow.run(&netlist, fr.algorithm, fr.seed) {
+    let outcome = match flow.run_budgeted(&base, fr.algorithm, fr.seed, budget) {
         Ok(o) => o,
+        Err(FlowError::Budget(_)) => {
+            sttlock_obs::counter("serve.deadline_missed", 1);
+            return Response::error(
+                504,
+                "deadline exceeded during harden; the flow was cancelled",
+            );
+        }
         Err(e) => return Response::error(422, &format!("flow failed: {e}")),
     };
     let report = &outcome.report;
@@ -195,7 +213,7 @@ fn harden(shared: &Shared, req: &Request, deadline: Instant) -> Response {
     let body = Json::obj([
         ("algorithm", Json::from(fr.algorithm.to_string().as_str())),
         ("seed", Json::from(fr.seed)),
-        ("gates", Json::from(netlist.gate_count())),
+        ("gates", Json::from(base.gate_count())),
         ("stt_count", Json::from(report.stt_count)),
         ("metrics", metrics.clone()),
         ("security", security),
@@ -209,7 +227,7 @@ fn harden(shared: &Shared, req: &Request, deadline: Instant) -> Response {
     if let Some(cache) = &shared.cache {
         cache.store_text(key, &body.to_string());
     }
-    if Instant::now() >= deadline {
+    if budget.exhausted() {
         sttlock_obs::counter("serve.deadline_missed", 1);
         let partial = Json::obj([
             (
@@ -224,11 +242,12 @@ fn harden(shared: &Shared, req: &Request, deadline: Instant) -> Response {
 }
 
 /// `POST /v1/attack` — harden the submitted netlist, then attack the
-/// resulting hybrid with the requested mode. The request deadline maps
-/// onto the sensitization attack's wall budget, so a long attack comes
-/// back as 504 *with* the partial outcome it reached (test clocks, SAT
-/// queries, resolution ratio) rather than an empty failure.
-fn attack(req: &Request, deadline: Instant) -> Response {
+/// resulting hybrid with the requested mode. The request budget is the
+/// parent of the sensitization attack's own budget (min-of-deadlines),
+/// so a long attack comes back as 504 *with* the partial outcome it
+/// reached (test clocks, SAT queries, resolution ratio) rather than an
+/// empty failure.
+fn attack(req: &Request, budget: &Budget) -> Response {
     let start = Instant::now();
     let fr = match parse_flow_request(req) {
         Ok(fr) => fr,
@@ -252,14 +271,17 @@ fn attack(req: &Request, deadline: Instant) -> Response {
         Ok(n) => n,
         Err(resp) => return resp,
     };
-    let outcome = match flow.run(&netlist, fr.algorithm, fr.seed) {
+    let outcome = match flow.run_budgeted(&Arc::new(netlist), fr.algorithm, fr.seed, budget) {
         Ok(o) => o,
+        Err(FlowError::Budget(_)) => {
+            sttlock_obs::counter("serve.deadline_missed", 1);
+            return Response::error(504, "deadline exceeded while hardening the attack target");
+        }
         Err(e) => return Response::error(422, &format!("flow failed: {e}")),
     };
     let hybrid = &outcome.hybrid;
     let foundry = hybrid.redact().0;
-    let remaining = deadline.saturating_duration_since(Instant::now());
-    if remaining.is_zero() {
+    if budget.exhausted() {
         sttlock_obs::counter("serve.deadline_missed", 1);
         return Response::error(504, "deadline exceeded before the attack started");
     }
@@ -267,12 +289,12 @@ fn attack(req: &Request, deadline: Instant) -> Response {
     let wall_ms = || Json::from(start.elapsed().as_millis() as u64);
     match mode.as_str() {
         "sens" => {
-            let cfg = SensitizationConfig {
-                max_wall_ms: remaining.as_millis().max(1) as u64,
-                ..SensitizationConfig::default()
-            };
+            // The attack derives its own limits as a child of the
+            // request budget, so the request deadline needs no manual
+            // translation into `max_wall_ms`.
+            let cfg = SensitizationConfig::default();
             let mut rng = StdRng::seed_from_u64(fr.seed ^ 0xA77A_C4ED);
-            match sensitization::run(&foundry, hybrid, &cfg, &mut rng) {
+            match sensitization::run_with_budget(&foundry, hybrid, &cfg, budget, &mut rng) {
                 Ok(out) => Response::json(
                     200,
                     Json::obj([
@@ -350,31 +372,27 @@ fn attack(req: &Request, deadline: Instant) -> Response {
     }
 }
 
-/// `POST /debug/sleep` `{"ms": n}` — occupy a worker for `n` ms,
-/// honouring the request deadline. Tests use it to fill the pool
-/// (429), overrun budgets (504) and check shutdown draining, without
-/// depending on flow timings.
-fn debug_sleep(req: &Request, deadline: Instant) -> Response {
+/// `POST /debug/sleep` `{"ms": n}` — occupy a worker for `n` ms via a
+/// budget-aware sleep, so the request deadline interrupts it. Tests use
+/// it to fill the pool (429), overrun budgets (504) and check shutdown
+/// draining, without depending on flow timings.
+fn debug_sleep(req: &Request, budget: &Budget) -> Response {
     let ms = std::str::from_utf8(&req.body)
         .ok()
         .and_then(|t| Json::parse(t).ok())
         .and_then(|b| b.get("ms").and_then(Json::as_u64))
         .unwrap_or(0);
     let start = Instant::now();
-    let until = start + Duration::from_millis(ms);
-    while Instant::now() < until {
-        if Instant::now() >= deadline {
-            sttlock_obs::counter("serve.deadline_missed", 1);
-            return Response::json(
-                504,
-                Json::obj([
-                    ("error", Json::from("deadline exceeded while sleeping")),
-                    ("slept_ms", Json::from(start.elapsed().as_millis() as u64)),
-                ])
-                .to_string(),
-            );
-        }
-        std::thread::sleep(Duration::from_millis(2));
+    if !budget.sleep(Duration::from_millis(ms)) {
+        sttlock_obs::counter("serve.deadline_missed", 1);
+        return Response::json(
+            504,
+            Json::obj([
+                ("error", Json::from("deadline exceeded while sleeping")),
+                ("slept_ms", Json::from(start.elapsed().as_millis() as u64)),
+            ])
+            .to_string(),
+        );
     }
     Response::json(
         200,

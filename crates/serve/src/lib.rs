@@ -12,18 +12,23 @@
 //! * `GET /healthz`, `GET /metrics` (text export of the obs
 //!   counters/gauges/histograms), `POST /admin/shutdown`.
 //!
-//! The execution model is a bounded worker pool behind a bounded accept
-//! queue: the accept thread `try_send`s connections into an
-//! [`mpsc::sync_channel`] and answers 429 itself when the queue is
-//! full, so overload degrades into fast, well-formed rejections instead
-//! of unbounded memory or dropped connections. Each request carries a
-//! deadline from its accept timestamp; blowing it returns 504 with
-//! whatever partial metrics the stage produced. A panicking handler is
-//! contained by `catch_unwind` (like the campaign runner's cells) and
-//! becomes a 500 without killing the worker. Shutdown — the admin
-//! endpoint or [`Server::shutdown`] — stops accepting, drains every
-//! queued and in-flight request, then joins the pool, so no accepted
-//! request is ever dropped.
+//! The execution model rides on the shared exec runtime
+//! ([`sttlock_exec`]): accepted connections are admitted into a bounded
+//! [`sttlock_exec::Pool`], and the accept thread answers 429 itself
+//! when the queue is full, so overload degrades into fast, well-formed
+//! rejections instead of unbounded memory or dropped connections. Each
+//! request carries a [`sttlock_exec::Budget`] with a deadline from its
+//! accept timestamp, threaded through the handlers into the flow,
+//! selection, STA and attack layers — blowing it cancels the work
+//! mid-stage and returns 504 with whatever partial metrics the stage
+//! produced. A panicking handler is contained by `catch_unwind` (like
+//! the campaign runner's cells) and becomes a 500 without killing the
+//! worker. Shutdown — the admin endpoint or [`Server::shutdown`] — is a
+//! [`sttlock_exec::CancelToken`]: the accept loop stops, the pool
+//! drains every queued and in-flight request, then joins, so no
+//! accepted request is ever dropped. (The stop token is deliberately
+//! *not* an ancestor of request budgets: draining means in-flight
+//! requests run to completion under their own deadlines.)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,12 +42,12 @@ use std::io::{self, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use sttlock_campaign::cache::Cache;
+use sttlock_exec::{Budget, CancelToken, Pool, PoolFull};
 use sttlock_obs::{Fanout, MetricsCollector, TraceCollector};
 
 use http::{Limits, Response};
@@ -95,7 +100,7 @@ impl Default for ServeConfig {
 
 /// State shared by the accept thread, the workers and the handlers.
 pub(crate) struct Shared {
-    pub(crate) stop: AtomicBool,
+    pub(crate) stop: CancelToken,
     pub(crate) request_timeout: Duration,
     pub(crate) limits: Limits,
     pub(crate) debug_endpoints: bool,
@@ -119,7 +124,14 @@ pub struct StopHandle(Arc<Shared>);
 impl StopHandle {
     /// Requests a graceful shutdown: stop accepting, drain, exit.
     pub fn stop(&self) {
-        self.0.stop.store(true, Ordering::SeqCst);
+        self.0.stop.cancel();
+    }
+
+    /// True once shutdown has been requested, whether through this
+    /// handle, `POST /admin/shutdown` or [`Server::shutdown`]. The
+    /// CLI's stdin watcher polls this to know when to stop watching.
+    pub fn is_stopped(&self) -> bool {
+        self.0.stop.is_cancelled()
     }
 }
 
@@ -128,7 +140,7 @@ impl StopHandle {
 pub struct Server {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    pool: Option<Arc<Pool>>,
     addr: SocketAddr,
     metrics: Arc<MetricsCollector>,
     trace: Option<(Arc<TraceCollector>, PathBuf)>,
@@ -161,7 +173,7 @@ impl Server {
             thread::available_parallelism().map_or(2, |n| n.get())
         };
         let shared = Arc::new(Shared {
-            stop: AtomicBool::new(false),
+            stop: CancelToken::new(),
             request_timeout: cfg.request_timeout,
             limits: cfg.limits,
             debug_endpoints: cfg.debug_endpoints,
@@ -172,24 +184,17 @@ impl Server {
             queue_depth: cfg.queue_depth,
         });
 
-        let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_depth.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        let pool = Arc::new(Pool::new(workers, cfg.queue_depth.max(1)));
         let accept = {
             let shared = Arc::clone(&shared);
-            thread::spawn(move || accept_loop(&shared, &listener, &tx))
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || accept_loop(&shared, &listener, &pool))
         };
-        let workers = (0..workers)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                let rx = Arc::clone(&rx);
-                thread::spawn(move || worker_loop(&shared, &rx))
-            })
-            .collect();
 
         Ok(Server {
             shared,
             accept: Some(accept),
-            workers,
+            pool: Some(pool),
             addr,
             metrics,
             trace,
@@ -215,7 +220,7 @@ impl Server {
     /// Blocks until shutdown is requested (`POST /admin/shutdown` or a
     /// [`StopHandle`]), then drains and joins. Returns a metrics digest.
     pub fn wait(mut self) -> String {
-        while !self.shared.stop.load(Ordering::SeqCst) {
+        while !self.shared.stop.is_cancelled() {
             thread::sleep(Duration::from_millis(25));
         }
         self.join_all()
@@ -224,20 +229,19 @@ impl Server {
     /// Requests shutdown, drains every queued and in-flight request,
     /// joins the pool. Returns a metrics digest.
     pub fn shutdown(mut self) -> String {
-        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.stop.cancel();
         self.join_all()
     }
 
     fn join_all(&mut self) -> String {
-        // The accept thread exits on the stop flag and drops the
-        // sender; workers drain what is already queued, then exit on
-        // the resulting disconnect. Nothing accepted is dropped.
+        // The accept thread exits on the stop token and drops its pool
+        // handle; dropping ours then closes the queue, drains every
+        // admitted job and joins the workers (`Pool`'s drop contract).
+        // Nothing accepted is dropped.
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        for h in self.workers.drain(..) {
-            let _ = h.join();
-        }
+        drop(self.pool.take());
         if let Some((t, path)) = self.trace.take() {
             if let Some(parent) = path.parent() {
                 if !parent.as_os_str().is_empty() {
@@ -255,14 +259,14 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         if !self.joined {
-            self.shared.stop.store(true, Ordering::SeqCst);
+            self.shared.stop.cancel();
             let _ = self.join_all();
         }
     }
 }
 
-fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &mpsc::SyncSender<Job>) {
-    while !shared.stop.load(Ordering::SeqCst) {
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, pool: &Pool) {
+    while !shared.stop.is_cancelled() {
         match listener.accept() {
             Ok((stream, _)) => {
                 sttlock_obs::counter("serve.accepted", 1);
@@ -271,17 +275,47 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &mpsc::SyncSender<Jo
                 let _ = stream.set_nonblocking(false);
                 // One-shot request/response: Nagle only adds latency.
                 let _ = stream.set_nodelay(true);
-                match tx.try_send(Job {
-                    stream,
-                    accepted_at: Instant::now(),
-                }) {
-                    Ok(()) => sttlock_obs::gauge("serve.queued", 1),
-                    Err(mpsc::TrySendError::Full(job)) => reject_busy(job.stream),
-                    Err(mpsc::TrySendError::Disconnected(_)) => break,
-                }
+                submit(shared, pool, stream);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
             Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Hands one accepted connection to the pool, or answers the canned 429
+/// from the accept thread when the queue is full.
+///
+/// The stream rides in a reclaim slot: [`Pool::try_execute`] consumes
+/// its job on rejection, so the socket is parked where the accept
+/// thread can take it back to write the rejection response.
+fn submit(shared: &Arc<Shared>, pool: &Pool, stream: TcpStream) {
+    let accepted_at = Instant::now();
+    let slot = Arc::new(Mutex::new(Some(stream)));
+    let job = {
+        let shared = Arc::clone(shared);
+        let slot = Arc::clone(&slot);
+        move || {
+            let stream = slot.lock().unwrap_or_else(PoisonError::into_inner).take();
+            let Some(stream) = stream else { return };
+            sttlock_obs::gauge("serve.queued", -1);
+            sttlock_obs::gauge("serve.in_flight", 1);
+            serve_connection(
+                &shared,
+                Job {
+                    stream,
+                    accepted_at,
+                },
+            );
+            sttlock_obs::gauge("serve.in_flight", -1);
+        }
+    };
+    match pool.try_execute(job) {
+        Ok(()) => sttlock_obs::gauge("serve.queued", 1),
+        Err(PoolFull) => {
+            if let Some(stream) = slot.lock().unwrap_or_else(PoisonError::into_inner).take() {
+                reject_busy(stream);
+            }
         }
     }
 }
@@ -297,26 +331,15 @@ fn reject_busy(mut stream: TcpStream) {
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<Job>>) {
-    loop {
-        let job = {
-            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
-            guard.recv()
-        };
-        let Ok(job) = job else { break };
-        sttlock_obs::gauge("serve.queued", -1);
-        sttlock_obs::gauge("serve.in_flight", 1);
-        serve_connection(shared, job);
-        sttlock_obs::gauge("serve.in_flight", -1);
-    }
-}
-
 fn serve_connection(shared: &Shared, job: Job) {
     let mut stream = job.stream;
     let queue_us = job.accepted_at.elapsed().as_micros() as u64;
     sttlock_obs::observe_us("serve.queue_wait", queue_us);
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let deadline = job.accepted_at + shared.request_timeout;
+    // The whole request runs under one deadline budget, threaded down
+    // into flow/selection/STA/attack so an overrun cancels the deep
+    // work instead of letting it run to completion unobserved.
+    let budget = Budget::deadline_at(job.accepted_at + shared.request_timeout);
 
     let mut span = sttlock_obs::span!("serve.request", queue_us = queue_us);
     // Parse and compute under one unwind guard: a panic anywhere in
@@ -331,7 +354,7 @@ fn serve_connection(shared: &Shared, job: Job) {
             Ok(req) => {
                 span.record("method", req.method.as_str());
                 span.record("path", req.path.as_str());
-                if Instant::now() >= deadline {
+                if budget.exhausted() {
                     // The whole budget went to queueing + parsing.
                     sttlock_obs::counter("serve.deadline_missed", 1);
                     return Some(Response::error(
@@ -340,7 +363,7 @@ fn serve_connection(shared: &Shared, job: Job) {
                     ));
                 }
                 let _s = sttlock_obs::span!("request.compute");
-                Some(handlers::route(shared, &req, deadline))
+                Some(handlers::route(shared, &req, &budget))
             }
             Err(http::HttpError::ConnectionClosed) => None,
             Err(e) => {

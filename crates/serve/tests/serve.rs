@@ -160,6 +160,18 @@ fn attack_endpoint_reports_the_break() {
     server.shutdown();
 }
 
+/// Polls `cond` until it holds; panics after five seconds.
+fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
+    let t0 = Instant::now();
+    while !cond() {
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "timed out waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
 #[test]
 fn full_queue_gets_fast_429s_not_drops() {
     let _guard = serial();
@@ -171,15 +183,26 @@ fn full_queue_gets_fast_429s_not_drops() {
     };
     let server = Server::start(cfg).unwrap();
     let addr = server.addr().to_string();
+    let metrics = std::sync::Arc::clone(server.metrics());
 
     // Two sleepers: one occupies the only worker, one fills the queue.
-    let sleepers: Vec<_> = (0..2)
-        .map(|_| {
-            let addr = addr.clone();
-            std::thread::spawn(move || post(&addr, "/debug/sleep", "{\"ms\":800}").status)
-        })
-        .collect();
-    std::thread::sleep(Duration::from_millis(250));
+    // Admission is sequenced on the in-process gauges — two connections
+    // submitted back-to-back can otherwise race the worker's dequeue
+    // and steal each other's queue slot.
+    let spawn_sleeper = |addr: &str| {
+        let addr = addr.to_owned();
+        std::thread::spawn(move || post(&addr, "/debug/sleep", "{\"ms\":800}").status)
+    };
+    let first = spawn_sleeper(&addr);
+    wait_for(
+        || metrics.gauge_value("serve.in_flight") >= 1,
+        "the first sleeper to occupy the worker",
+    );
+    let second = spawn_sleeper(&addr);
+    wait_for(
+        || metrics.gauge_value("serve.queued") >= 1,
+        "the second sleeper to fill the queue",
+    );
 
     // Pool busy + queue full → the accept thread itself answers 429.
     let t0 = Instant::now();
@@ -190,7 +213,7 @@ fn full_queue_gets_fast_429s_not_drops() {
         "429 must not wait for the workers"
     );
 
-    for s in sleepers {
+    for s in [first, second] {
         assert_eq!(s.join().unwrap(), 200);
     }
     server.shutdown();
@@ -218,6 +241,55 @@ fn blown_deadline_is_a_504_with_partial_state() {
     let metrics = server.metrics().clone();
     server.shutdown();
     assert_eq!(metrics.counter_value("serve.deadline_missed"), 1);
+}
+
+#[test]
+fn blown_deadline_cancels_the_in_flight_flow() {
+    let _guard = serial();
+    let cfg = ServeConfig {
+        request_timeout: Duration::from_millis(200),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr().to_string();
+    let metrics = server.metrics().clone();
+
+    // A circuit big enough (seconds of flow time) that the 200ms
+    // request budget must trip *inside* selection/STA — the specific
+    // 504 message distinguishes a mid-flow cancel from the cheap
+    // pre-compute and post-compute deadline checks.
+    let mut rng = StdRng::seed_from_u64(11);
+    let bench = bench_format::write(&Profile::custom("big", 2500, 8, 10, 6).generate(&mut rng));
+    let body = format!(
+        "{{\"bench\":{},\"algorithm\":\"para\",\"seed\":5}}",
+        json_string(&bench)
+    );
+    let resp = post(&addr, "/v1/harden", &body);
+    assert_eq!(resp.status, 504, "{}", resp.body_text());
+    assert!(
+        resp.body_text().contains("the flow was cancelled"),
+        "the 504 must come from the budget tripping mid-flow: {}",
+        resp.body_text()
+    );
+
+    // The deep work observed the trip (the budget's one-shot latch)
+    // after charging real steps…
+    assert!(metrics.counter_value("exec.budget.deadline") >= 1);
+    let steps = metrics.counter_value("exec.steps");
+    assert!(
+        steps > 0,
+        "selection/STA should have charged steps before the cancel"
+    );
+    // …and then went quiet: a cancelled request's stages must stop,
+    // not keep computing into a dead socket.
+    std::thread::sleep(Duration::from_millis(250));
+    assert_eq!(
+        metrics.counter_value("exec.steps"),
+        steps,
+        "no stage may keep charging steps after its request was cancelled"
+    );
+
+    server.shutdown();
 }
 
 #[test]

@@ -25,6 +25,7 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::thread;
 
+use sttlock_exec::{Budget, BudgetError};
 use sttlock_netlist::{CircuitView, GateKind, Netlist, Node, NodeId};
 use sttlock_techlib::Library;
 
@@ -355,33 +356,61 @@ impl<'a> IncrementalSta<'a> {
     /// [`restore_gate`](IncrementalSta::restore_gate) per candidate
     /// sequentially, just faster.
     ///
-    /// Parallelism uses `std::thread::scope`: the workspace has no
-    /// `rayon` (the offline build environment lacks the dependency), so
-    /// scoped threads stand in for a `par_iter`.
+    /// Parallelism uses [`sttlock_exec::scoped_map`]: the workspace has
+    /// no `rayon` (the offline build environment lacks the dependency),
+    /// so its work-stealing scoped threads stand in for a `par_iter`.
     pub fn batch_eval(&self, candidates: &[NodeId]) -> Vec<f64> {
+        self.batch_eval_with(candidates, None)
+            .expect("an unbudgeted batch_eval cannot be cancelled")
+    }
+
+    /// [`batch_eval`](IncrementalSta::batch_eval) under a cooperative
+    /// [`Budget`]: each candidate evaluation first checks the budget
+    /// (so a cancelled request stops mid-wave, between cone queries)
+    /// and then charges one step. With `None` the behaviour — including
+    /// the chunking, and therefore the output bytes — is identical to
+    /// the unbudgeted path.
+    pub fn batch_eval_with(
+        &self,
+        candidates: &[NodeId],
+        budget: Option<&Budget>,
+    ) -> Result<Vec<f64>, BudgetError> {
         if candidates.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let workers = thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
             .min(candidates.len());
+        // Chunk exactly as the pre-exec scoped loop did so the
+        // per-worker engine clones see the same candidate runs and the
+        // results stay bit-identical.
         let chunk = candidates.len().div_ceil(workers);
-        let mut periods = vec![0.0f64; candidates.len()];
-        thread::scope(|scope| {
-            for (cands, out) in candidates.chunks(chunk).zip(periods.chunks_mut(chunk)) {
-                scope.spawn(move || {
-                    let mut engine = self.clone();
-                    for (&id, slot) in cands.iter().zip(out.iter_mut()) {
-                        let prev = engine.delay[id.index()];
-                        engine.swap_to_lut(id);
-                        *slot = engine.clock_period_ns();
-                        engine.set_delay(id, prev);
-                    }
-                });
+        let chunks: Vec<&[NodeId]> = candidates.chunks(chunk).collect();
+        let evaluated = sttlock_exec::scoped_map(workers, chunks.len(), |i| {
+            let mut engine = self.clone();
+            let mut out = Vec::with_capacity(chunks[i].len());
+            for &id in chunks[i] {
+                if let Some(b) = budget {
+                    b.check()?;
+                    b.charge(1);
+                }
+                let prev = engine.delay[id.index()];
+                engine.swap_to_lut(id);
+                out.push(engine.clock_period_ns());
+                engine.set_delay(id, prev);
             }
+            Ok(out)
         });
-        periods
+        let mut periods = Vec::with_capacity(candidates.len());
+        for slot in evaluated {
+            match slot {
+                Ok(Ok(vals)) => periods.extend(vals),
+                Ok(Err(e)) => return Err(e),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        Ok(periods)
     }
 
     /// Materializes a full [`TimingAnalysis`] (required times, critical
@@ -589,6 +618,41 @@ mod tests {
             assert_eq!(inc.clock_period_ns().to_bits(), period.to_bits());
             inc.restore_gate(id, kind);
         }
+    }
+
+    #[test]
+    fn batch_eval_with_unbounded_budget_is_bit_identical_and_charges_steps() {
+        let n = circuit();
+        let l = lib();
+        let inc = IncrementalSta::new(&n, &l);
+        let candidates: Vec<NodeId> = ["g1", "g2", "g3", "side"]
+            .iter()
+            .map(|s| n.find(s).unwrap())
+            .collect();
+        let plain = inc.batch_eval(&candidates);
+        let budget = Budget::unbounded();
+        let budgeted = inc.batch_eval_with(&candidates, Some(&budget)).unwrap();
+        for (a, b) in plain.iter().zip(&budgeted) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(budget.steps_spent(), candidates.len() as u64);
+    }
+
+    #[test]
+    fn batch_eval_with_cancelled_budget_stops_mid_wave() {
+        let n = circuit();
+        let l = lib();
+        let inc = IncrementalSta::new(&n, &l);
+        let candidates: Vec<NodeId> = ["g1", "g2", "g3", "side"]
+            .iter()
+            .map(|s| n.find(s).unwrap())
+            .collect();
+        let budget = Budget::unbounded();
+        budget.cancel();
+        assert_eq!(
+            inc.batch_eval_with(&candidates, Some(&budget)),
+            Err(BudgetError::Cancelled)
+        );
     }
 
     #[test]
