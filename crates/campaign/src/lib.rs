@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod journal;
 pub mod json;
 pub mod record;
 pub mod render;
@@ -39,6 +40,7 @@ use std::time::Duration;
 use sttlock_core::SelectionAlgorithm;
 use sttlock_fault::FaultModel;
 
+pub use journal::{Journal, JournalEntry, OpenedJournal, JOURNAL_SCHEMA_VERSION};
 pub use record::{AttackMetrics, FlowMetrics, RepairMetrics, RunRecord, RunStatus};
 pub use runner::{execute, CampaignResult};
 

@@ -28,10 +28,7 @@
 //! races a cell-side budget error at the boundary.
 
 use std::collections::HashMap;
-use std::fs;
-use std::io::Write;
 use std::panic::{self, AssertUnwindSafe};
-use std::path::Path;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
@@ -51,7 +48,7 @@ use sttlock_netlist::{bench_format, Netlist};
 use sttlock_techlib::Library;
 
 use crate::cache::{cell_key, Cache};
-use crate::json::Json;
+use crate::journal::{self, Journal, JournalEntry, JOURNAL_SCHEMA_VERSION};
 use crate::record::{AttackMetrics, FlowMetrics, RepairMetrics, RunRecord, RunStatus};
 use crate::{circuit_seed, AttackKind, CampaignSpec, Cell, CircuitSpec};
 
@@ -82,6 +79,10 @@ pub struct CampaignResult {
     pub records: Vec<RunRecord>,
     /// Wall-clock time of the whole campaign.
     pub wall: Duration,
+    /// What opening the journal recovered (`None` when the campaign
+    /// ran without a journal or the journal failed to open). A torn
+    /// tail from a crashed predecessor shows up here as dropped bytes.
+    pub journal_recovery: Option<sttlock_store::RecoveryReport>,
 }
 
 impl CampaignResult {
@@ -126,32 +127,29 @@ pub fn execute(spec: &CampaignSpec) -> CampaignResult {
         .as_ref()
         .and_then(|dir| Cache::open(dir.clone()));
 
-    let replay: HashMap<String, RunRecord> = match (&spec.journal, spec.resume) {
-        (Some(path), true) => load_journal(path),
-        _ => HashMap::new(),
-    };
-    let journal: Option<Mutex<fs::File>> = spec.journal.as_ref().and_then(|path| {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                let _ = fs::create_dir_all(parent);
-            }
-        }
-        let torn_tail = fs::read(path).is_ok_and(|b| b.last().is_some_and(|&c| c != b'\n'));
-        fs::OpenOptions::new()
-            .append(true)
-            .create(true)
-            .open(path)
-            .ok()
-            .map(|mut file| {
-                // A crash mid-append leaves a torn, newline-less final
-                // line; start on a fresh line so the records appended
-                // now don't glue onto it and become unparseable too.
-                if torn_tail {
-                    let _ = writeln!(file);
+    // Open the journal through the store: the framed log heals any
+    // torn or corrupt tail (a crash mid-append costs exactly the torn
+    // record) and hands back every intact entry for replay.
+    let mut replay: HashMap<String, JournalEntry> = HashMap::new();
+    let mut journal_recovery = None;
+    let journal: Option<Mutex<Journal>> = match &spec.journal {
+        Some(path) => match Journal::open(path) {
+            Ok(opened) => {
+                journal_recovery = Some(opened.recovery.clone());
+                if spec.resume {
+                    replay = journal::replay_map(opened.entries);
                 }
-                Mutex::new(file)
-            })
-    });
+                Some(Mutex::new(opened.journal))
+            }
+            Err(_) => {
+                // Match the seed behavior for an unopenable journal
+                // path: run the campaign, skip journaling.
+                sttlock_obs::counter("campaign.journal_open_failed", 1);
+                None
+            }
+        },
+        None => None,
+    };
 
     let workers = if spec.jobs > 0 {
         spec.jobs
@@ -187,30 +185,44 @@ pub fn execute(spec: &CampaignSpec) -> CampaignResult {
             queue_us = start.elapsed().as_micros() as u64,
         );
         let record = match replay.get(&cell_journal_key(cell)) {
-            Some(done) if done.status.is_ok() && done.flow.is_some() => {
+            Some(entry)
+                if entry.schema == JOURNAL_SCHEMA_VERSION
+                    && entry.record.status.is_ok()
+                    && entry.record.flow.is_some() =>
+            {
                 cell_span.record("replayed", true);
-                done.clone()
+                entry.record.clone()
             }
             hit => {
                 let r = match hit {
-                    Some(done) if done.status.is_ok() => {
-                        // An ok record with no flow metrics can only
-                        // come from a version-skewed journal (an older
-                        // format, or a hand edit): replaying it would
-                        // feed `None` into every consumer that treats
-                        // ok as "metrics present". Degrade to a
-                        // structured per-cell failure instead.
+                    // An ok entry that must not be replayed: either it
+                    // was recorded under a different journal schema
+                    // (its CRC is fine — the *format* is what skewed),
+                    // or it is missing the flow metrics every consumer
+                    // of ok rows expects (an older format or a hand
+                    // edit). Replaying would feed stale or `None` data
+                    // downstream; degrade to a structured per-cell
+                    // failure instead.
+                    Some(entry) if entry.record.status.is_ok() => {
                         sttlock_obs::counter("campaign.skewed_replays", 1);
+                        let message = if entry.schema != JOURNAL_SCHEMA_VERSION {
+                            format!(
+                                "journal entry is version-skewed: recorded under journal \
+                                 schema v{} but this build writes v{}; re-run this cell \
+                                 without --resume",
+                                entry.schema, JOURNAL_SCHEMA_VERSION
+                            )
+                        } else {
+                            "journal entry is version-skewed: ok status without flow \
+                             metrics; re-run this cell without --resume"
+                                .to_owned()
+                        };
                         let mut r = RunRecord::failure(
                             cell.circuit.name(),
                             &cell.algorithm.to_string(),
                             cell.seed,
                             cell.attack.tag(),
-                            RunStatus::Failed(
-                                "journal entry is version-skewed: ok status without flow \
-                                 metrics; re-run this cell without --resume"
-                                    .to_owned(),
-                            ),
+                            RunStatus::Failed(message),
                         );
                         r.config = cell.overrides.descriptor();
                         if !cell.fault.is_noop() {
@@ -221,9 +233,7 @@ pub fn execute(spec: &CampaignSpec) -> CampaignResult {
                     _ => run_cell_isolated(cell, spec.timeout, cache.as_ref(), &pool),
                 };
                 if let Some(journal) = &journal {
-                    let mut file = recover_lock(journal);
-                    let _ = writeln!(file, "{}", r.to_json());
-                    let _ = file.flush();
+                    let _ = recover_lock(journal).append(&r);
                 }
                 r
             }
@@ -246,6 +256,7 @@ pub fn execute(spec: &CampaignSpec) -> CampaignResult {
     CampaignResult {
         records: finalize_records(&cells, slots),
         wall: start.elapsed(),
+        journal_recovery,
     }
 }
 
@@ -366,24 +377,9 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// The identity of a cell inside the resume journal. Built only from
-/// fields a [`RunRecord`] also carries, so a journal line can be matched
-/// back to its grid cell; the attack component is the short tag, which
-/// means two attacks differing only in their limits share an identity —
-/// grids that sweep attack limits should use separate journals.
-fn journal_key(
-    circuit: &str,
-    algorithm: &str,
-    seed: u64,
-    attack: &str,
-    config: &str,
-    fault: &str,
-) -> String {
-    format!("{circuit}|{algorithm}|{seed}|{attack}|{config}|{fault}")
-}
-
+/// The cell's identity under [`journal::journal_key`].
 fn cell_journal_key(cell: &Cell) -> String {
-    journal_key(
+    journal::journal_key(
         cell.circuit.name(),
         &cell.algorithm.to_string(),
         cell.seed,
@@ -391,39 +387,6 @@ fn cell_journal_key(cell: &Cell) -> String {
         &cell.overrides.descriptor(),
         &cell.fault.descriptor(),
     )
-}
-
-/// Parses the journal, keeping the *last* entry per cell identity —
-/// a resumed campaign appends fresh results after the stale ones, so
-/// re-resuming from the same journal sees the newest outcome.
-/// Unparseable lines (a half-written line from a kill, stray text) are
-/// skipped rather than failing the resume.
-fn load_journal(path: &Path) -> HashMap<String, RunRecord> {
-    let Ok(text) = fs::read_to_string(path) else {
-        return HashMap::new();
-    };
-    let mut out = HashMap::new();
-    for line in text.lines() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(r) = Json::parse(line)
-            .ok()
-            .and_then(|v| RunRecord::from_json(&v))
-        {
-            let key = journal_key(
-                &r.circuit,
-                &r.algorithm,
-                r.seed,
-                &r.attack,
-                &r.config,
-                &r.fault,
-            );
-            out.insert(key, r);
-        }
-    }
-    out
 }
 
 /// Generates the circuit for a cell (the fault-injection cells fault
@@ -864,8 +827,24 @@ mod tests {
         assert!(collector.counter_value("campaign.poison_recovered") >= 1);
     }
 
+    /// Reads every intact journal entry without healing the file.
+    fn read_entries(path: &std::path::Path) -> Vec<JournalEntry> {
+        sttlock_store::read_all::<JournalEntry>(path).unwrap().0
+    }
+
+    /// Rewrites the journal to exactly `entries`, framed.
+    fn write_entries(path: &std::path::Path, entries: &[JournalEntry]) {
+        use sttlock_store::Record as _;
+        let mut bytes = Vec::new();
+        for e in entries {
+            bytes.extend_from_slice(&sttlock_store::frame::encode(&e.encode()));
+        }
+        std::fs::write(path, bytes).unwrap();
+    }
+
     #[test]
-    fn resume_reruns_exactly_the_cell_with_a_torn_journal_line() {
+    fn resume_reruns_exactly_the_cell_with_a_torn_journal_record() {
+        use sttlock_store::Record as _;
         let dir = std::env::temp_dir()
             .join("sttlock-campaign-runner-tests")
             .join(format!("{}-torn", std::process::id()));
@@ -878,49 +857,53 @@ mod tests {
         };
         let first = execute(&spec);
         assert_eq!(first.ok_count(), 3);
-        let journaled = std::fs::read_to_string(&journal).unwrap();
-        let lines: Vec<&str> = journaled.lines().collect();
-        assert_eq!(lines.len(), 3);
+        assert_eq!(first.journal_recovery.unwrap().records, 0, "fresh journal");
+        let mut entries = read_entries(&journal);
+        assert_eq!(entries.len(), 3);
 
         // Simulate a crash mid-append: stamp the intact records with a
-        // sentinel wall time, then cut the final line in half with no
-        // trailing newline.
-        let mut stamped = String::new();
-        for line in &lines[..2] {
-            let mut r = RunRecord::from_json(&Json::parse(line).unwrap()).unwrap();
-            r.wall_ms = 999_999;
-            stamped.push_str(&r.to_json().to_string());
-            stamped.push('\n');
+        // sentinel wall time, then cut the final record's frame in half.
+        let mut bytes = Vec::new();
+        let torn = entries.pop().unwrap();
+        for e in &mut entries {
+            e.record.wall_ms = 999_999;
+            bytes.extend_from_slice(&sttlock_store::frame::encode(&e.encode()));
         }
-        stamped.push_str(&lines[2][..lines[2].len() / 2]);
-        std::fs::write(&journal, &stamped).unwrap();
+        let torn_frame = sttlock_store::frame::encode(&torn.encode());
+        bytes.extend_from_slice(&torn_frame[..torn_frame.len() / 2]);
+        std::fs::write(&journal, &bytes).unwrap();
 
         let resumed = execute(&CampaignSpec {
             resume: true,
             ..spec.clone()
         });
         assert_eq!(resumed.records.len(), 3);
-        assert_eq!(resumed.records[0].wall_ms, 999_999, "intact line replays");
-        assert_eq!(resumed.records[1].wall_ms, 999_999, "intact line replays");
+        assert_eq!(resumed.records[0].wall_ms, 999_999, "intact record replays");
+        assert_eq!(resumed.records[1].wall_ms, 999_999, "intact record replays");
         assert!(resumed.records[2].status.is_ok());
         assert_ne!(
             resumed.records[2].wall_ms, 999_999,
             "the torn cell re-executes"
         );
+        // The recovery is structured, not silent: the resume reports
+        // the dropped tail bytes.
+        let recovery = resumed.journal_recovery.unwrap();
+        assert_eq!(recovery.records, 2);
+        assert!(recovery.dropped_bytes > 0);
 
-        // The journal healed: the torn fragment was newline-terminated
-        // and exactly one fresh record line was appended after it, so a
-        // second resume replays all three cells verbatim.
-        let after = std::fs::read_to_string(&journal).unwrap();
-        assert_eq!(after.lines().count(), 4);
+        // The journal healed: the torn frame was truncated away and
+        // exactly one fresh record was appended, so a second resume
+        // replays all three cells verbatim and appends nothing.
+        assert_eq!(read_entries(&journal).len(), 3);
         let second = execute(&CampaignSpec {
             resume: true,
             ..spec
         });
         assert!(second.records.iter().all(|r| r.status.is_ok()));
+        assert!(second.journal_recovery.unwrap().is_clean());
         assert_eq!(
-            std::fs::read_to_string(&journal).unwrap().lines().count(),
-            4,
+            read_entries(&journal).len(),
+            3,
             "a fully replayed resume appends nothing"
         );
     }
@@ -1002,11 +985,9 @@ mod tests {
         // float does: a negative selection time. Resume replays `ok`
         // records verbatim, so the corrupt value reaches the renderer —
         // which pre-fix panicked inside `Duration::from_secs_f64`.
-        let line = std::fs::read_to_string(&journal).unwrap();
-        let mut r =
-            RunRecord::from_json(&Json::parse(line.lines().next().unwrap()).unwrap()).unwrap();
-        r.flow.as_mut().unwrap().selection_ms = -250.0;
-        std::fs::write(&journal, format!("{}\n", r.to_json())).unwrap();
+        let mut entries = read_entries(&journal);
+        entries[0].record.flow.as_mut().unwrap().selection_ms = -250.0;
+        write_entries(&journal, &entries);
 
         let resumed = execute(&CampaignSpec {
             resume: true,
@@ -1147,22 +1128,17 @@ mod tests {
         };
         let first = execute(&spec);
         assert_eq!(first.ok_count(), 2);
-        let journaled = std::fs::read_to_string(&journal).unwrap();
-        assert_eq!(journaled.lines().count(), 3, "one line per executed cell");
+        let mut entries = read_entries(&journal);
+        assert_eq!(entries.len(), 3, "one entry per executed cell");
 
         // Stamp the journaled ok records with a sentinel wall time; a
         // resumed campaign must serve them verbatim from the journal.
-        let stamped: String = journaled
-            .lines()
-            .map(|line| {
-                let mut r = RunRecord::from_json(&Json::parse(line).unwrap()).unwrap();
-                if r.status.is_ok() {
-                    r.wall_ms = 999_999;
-                }
-                format!("{}\n", r.to_json())
-            })
-            .collect();
-        std::fs::write(&journal, &stamped).unwrap();
+        for e in &mut entries {
+            if e.record.status.is_ok() {
+                e.record.wall_ms = 999_999;
+            }
+        }
+        write_entries(&journal, &entries);
 
         let resumed = execute(&CampaignSpec {
             resume: true,
@@ -1176,8 +1152,7 @@ mod tests {
             "the failed cell re-executes"
         );
         // Only the re-executed cell appended to the journal.
-        let after = std::fs::read_to_string(&journal).unwrap();
-        assert_eq!(after.lines().count(), 4);
+        assert_eq!(read_entries(&journal).len(), 4);
     }
 
     #[test]
@@ -1199,17 +1174,9 @@ mod tests {
         // Strip the flow metrics from one ok record the way an older
         // journal format would lack them: the status stays ok but the
         // payload no longer matches what consumers of ok rows expect.
-        let lines = std::fs::read_to_string(&journal).unwrap();
-        let mut rewritten = String::new();
-        for (i, line) in lines.lines().enumerate() {
-            let mut r = RunRecord::from_json(&Json::parse(line).unwrap()).unwrap();
-            if i == 0 {
-                r.flow = None;
-            }
-            rewritten.push_str(&r.to_json().to_string());
-            rewritten.push('\n');
-        }
-        std::fs::write(&journal, &rewritten).unwrap();
+        let mut entries = read_entries(&journal);
+        entries[0].record.flow = None;
+        write_entries(&journal, &entries);
 
         let collector = sttlock_obs::TraceCollector::new();
         sttlock_obs::install(collector.clone());
@@ -1228,6 +1195,92 @@ mod tests {
             "the intact entry still replays"
         );
         assert_eq!(collector.counter_value("campaign.skewed_replays"), 1);
+    }
+
+    #[test]
+    fn schema_skewed_entries_degrade_to_structured_failures() {
+        let _guard = obs_lock();
+        let dir = std::env::temp_dir()
+            .join("sttlock-campaign-runner-tests")
+            .join(format!("{}-schema-skew", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = dir.join("journal.jsonl");
+        let spec = CampaignSpec {
+            journal: Some(journal.clone()),
+            jobs: 1,
+            ..quick_spec(vec![small("schema-a"), small("schema-b")])
+        };
+        assert_eq!(execute(&spec).ok_count(), 2);
+
+        // Re-stamp one entry with a foreign schema version. Its CRC is
+        // valid — the framing accepts it — but the recorded schema no
+        // longer matches what this build writes, so `--resume` must
+        // reject it as a structured failure, not replay it.
+        let mut entries = read_entries(&journal);
+        entries[0].schema = JOURNAL_SCHEMA_VERSION + 1;
+        write_entries(&journal, &entries);
+
+        let collector = sttlock_obs::TraceCollector::new();
+        sttlock_obs::install(collector.clone());
+        let resumed = execute(&CampaignSpec {
+            resume: true,
+            ..spec
+        });
+        sttlock_obs::uninstall();
+        assert!(
+            matches!(
+                &resumed.records[0].status,
+                RunStatus::Failed(m) if m.contains("version-skewed") && m.contains("schema")
+            ),
+            "{:?}",
+            resumed.records[0].status
+        );
+        assert!(resumed.records[1].status.is_ok(), "intact entry replays");
+        assert_eq!(collector.counter_value("campaign.skewed_replays"), 1);
+    }
+
+    #[test]
+    fn a_legacy_jsonl_journal_migrates_and_resumes_as_skew_failures() {
+        let dir = std::env::temp_dir()
+            .join("sttlock-campaign-runner-tests")
+            .join(format!("{}-legacy", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = dir.join("journal.jsonl");
+        let spec = CampaignSpec {
+            journal: Some(journal.clone()),
+            jobs: 1,
+            ..quick_spec(vec![small("legacy-a")])
+        };
+        assert_eq!(execute(&spec).ok_count(), 1);
+
+        // Rewrite the journal the way PR-6-era code stored it: bare
+        // JSONL, no framing. Opening it must migrate in place, and the
+        // migrated entries (schema 0) must refuse to replay.
+        let entries = read_entries(&journal);
+        let mut legacy = String::new();
+        for e in &entries {
+            legacy.push_str(&format!("{}\n", e.record.to_json()));
+        }
+        std::fs::write(&journal, &legacy).unwrap();
+
+        let resumed = execute(&CampaignSpec {
+            resume: true,
+            ..spec
+        });
+        assert!(
+            matches!(
+                &resumed.records[0].status,
+                RunStatus::Failed(m) if m.contains("schema v0")
+            ),
+            "{:?}",
+            resumed.records[0].status
+        );
+        // The file is framed again, and the re-executed failure row was
+        // appended after the migrated one.
+        let after = read_entries(&journal);
+        assert_eq!(after.len(), 2);
+        assert_eq!(after[0].schema, 0);
+        assert_eq!(after[1].schema, JOURNAL_SCHEMA_VERSION);
     }
 
     #[test]

@@ -197,7 +197,14 @@ pub fn save_netlist(path: &str, netlist: &Netlist) -> Result<(), CliError> {
             )))
         }
     };
-    fs::write(path, text).map_err(|e| CliError::Io {
+    write_artifact(path, text)
+}
+
+/// Writes a user-visible artifact atomically (sibling temp file +
+/// fsync + rename via the store): a Ctrl-C or crash mid-write leaves
+/// the previous file intact, never a truncated one.
+fn write_artifact(path: &str, bytes: impl AsRef<[u8]>) -> Result<(), CliError> {
+    sttlock_store::write_atomic(path, bytes).map_err(|e| CliError::Io {
         path: path.to_owned(),
         message: e.to_string(),
     })
@@ -384,12 +391,7 @@ fn cmd_lock(argv: &[String]) -> Result<String, CliError> {
     let (foundry, secret) = outcome.hybrid.redact();
 
     if let Some(bits_path) = args.get("bitstream") {
-        fs::write(bits_path, bitstream::write(&outcome.hybrid, &secret)).map_err(|e| {
-            CliError::Io {
-                path: bits_path.to_owned(),
-                message: e.to_string(),
-            }
-        })?;
+        write_artifact(bits_path, bitstream::write(&outcome.hybrid, &secret))?;
     }
     let written = if args.has("redact") {
         &foundry
@@ -486,10 +488,7 @@ fn cmd_library(argv: &[String]) -> Result<String, CliError> {
     let args = Args::parse(argv, &[])?;
     let out = args.require("o")?;
     let text = sttlock_techlib::textfmt::write_library(&Library::predictive_90nm());
-    fs::write(out, text).map_err(|e| CliError::Io {
-        path: out.to_owned(),
-        message: e.to_string(),
-    })?;
+    write_artifact(out, text)?;
     Ok(format!(
         "exported the built-in calibrated 90nm library to {out}\n"
     ))
@@ -615,10 +614,9 @@ impl Trace {
     fn finish(self, out: &mut String) -> Result<(), CliError> {
         sttlock_obs::uninstall();
         if let Some(path) = &self.path {
-            fs::write(path, self.collector.to_jsonl()).map_err(|e| CliError::Io {
-                path: path.clone(),
-                message: e.to_string(),
-            })?;
+            // Atomic: a kill between here and process exit must never
+            // leave a half-written trace for tooling to choke on.
+            write_artifact(path, self.collector.to_jsonl())?;
         }
         if self.summary {
             out.push('\n');
@@ -941,10 +939,7 @@ fn cmd_campaign(argv: &[String]) -> Result<String, CliError> {
     let trace = Trace::start(&args);
     let result = sttlock_campaign::execute(&spec);
     if let Some(path) = args.get("out") {
-        fs::write(path, result.to_jsonl()).map_err(|e| CliError::Io {
-            path: path.to_owned(),
-            message: e.to_string(),
-        })?;
+        write_artifact(path, result.to_jsonl())?;
     }
 
     let seed = spec.seeds[0];
@@ -984,6 +979,13 @@ fn cmd_campaign(argv: &[String]) -> Result<String, CliError> {
         .filter(|r| matches!(r.status, sttlock_campaign::RunStatus::TimedOut))
         .count();
     let failed = total - ok - timed_out;
+    if let Some(recovery) = &result.journal_recovery {
+        if !recovery.is_clean() {
+            // Surface what the store healed: a crashed predecessor's
+            // torn tail shows up here instead of vanishing silently.
+            out.push_str(&format!("\njournal recovery: {}\n", recovery.summary()));
+        }
+    }
     out.push_str(&format!(
         "\ncampaign: {total} runs ({ok} ok, {failed} failed, {timed_out} timed out, {} cached) in {:.1}s\n",
         result.cache_hits(),
@@ -1708,16 +1710,19 @@ mod tests {
         ];
         let first = run(&argv(&base)).unwrap();
         assert!(first.contains("1 ok"), "{first}");
-        let journaled = fs::read_to_string(&journal).unwrap();
-        assert_eq!(journaled.lines().count(), 1);
+        let entries = |path: &str| {
+            sttlock_store::read_all::<sttlock_campaign::JournalEntry>(Path::new(path))
+                .unwrap()
+                .0
+        };
+        assert_eq!(entries(&journal).len(), 1);
 
         let mut resumed_args = base.to_vec();
         resumed_args.push("--resume");
         let second = run(&argv(&resumed_args)).unwrap();
         assert!(second.contains("1 ok"), "{second}");
-        // The replayed cell did not re-execute: no new journal line.
-        let after = fs::read_to_string(&journal).unwrap();
-        assert_eq!(after.lines().count(), 1);
+        // The replayed cell did not re-execute: no new journal entry.
+        assert_eq!(entries(&journal).len(), 1);
 
         // --resume without --journal is a usage error.
         assert!(matches!(

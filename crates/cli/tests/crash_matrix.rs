@@ -1,0 +1,150 @@
+//! The crash matrix: kill the real CLI binary at each armed store
+//! kill-point (`STTLOCK_KILL_POINT`), then `--resume` and prove the
+//! final campaign output is byte-identical to an uninterrupted run.
+//!
+//! This is the end-to-end face of the store's recovery guarantee — not
+//! a simulated `ChaosFs` death but a genuine `abort()` mid-write in a
+//! child process, followed by a fresh process recovering the journal.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use sttlock_campaign::json::Json;
+use sttlock_campaign::JournalEntry;
+
+const CELLS: usize = 3;
+
+fn cli() -> &'static str {
+    env!("CARGO_BIN_EXE_sttlock-cli")
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("sttlock-cli-crash-matrix")
+        .join(format!("{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A three-cell campaign (one circuit, one algorithm, three seeds)
+/// writing a journal and a JSONL output file.
+fn campaign_args(journal: &Path, out: &Path, resume: bool) -> Vec<String> {
+    let mut args = vec![
+        "campaign".to_owned(),
+        "--circuits".to_owned(),
+        "crash:70:4:6:4".to_owned(),
+        "--algorithms".to_owned(),
+        "indep".to_owned(),
+        "--seeds".to_owned(),
+        "1,2,3".to_owned(),
+        "--jobs".to_owned(),
+        "1".to_owned(),
+        "--table".to_owned(),
+        "none".to_owned(),
+        "--journal".to_owned(),
+        journal.display().to_string(),
+        "--out".to_owned(),
+        out.display().to_string(),
+    ];
+    if resume {
+        args.push("--resume".to_owned());
+    }
+    args
+}
+
+fn run_cli(args: &[String], kill_point: Option<&str>) -> Output {
+    let mut cmd = Command::new(cli());
+    cmd.args(args);
+    // The variable is inherited by default; the resume run must never
+    // see a stale arming from the test harness environment.
+    cmd.env_remove("STTLOCK_KILL_POINT");
+    if let Some(spec) = kill_point {
+        cmd.env("STTLOCK_KILL_POINT", spec);
+    }
+    cmd.output().expect("the CLI binary should spawn")
+}
+
+/// Normalizes campaign JSONL for byte comparison: wall-clock fields
+/// (`wall_ms`, `flow.selection_ms`) differ between runs by nature;
+/// everything else — metrics, security estimates, statuses, ordering —
+/// must be bit-equal.
+fn normalize(jsonl: &str) -> String {
+    let mut out = String::new();
+    for line in jsonl.lines().filter(|l| !l.is_empty()) {
+        let Ok(Json::Obj(mut record)) = Json::parse(line) else {
+            panic!("output line is not a JSON object: {line}");
+        };
+        record.insert("wall_ms".to_owned(), Json::from(0u64));
+        if let Some(Json::Obj(flow)) = record.get_mut("flow") {
+            flow.insert("selection_ms".to_owned(), Json::from(0.0));
+        }
+        out.push_str(&Json::Obj(record).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn journal_entries(path: &Path) -> Vec<JournalEntry> {
+    sttlock_store::read_all::<JournalEntry>(path).unwrap().0
+}
+
+#[test]
+fn every_kill_point_resumes_to_the_uninterrupted_output() {
+    // The uninterrupted baseline every crashed-and-resumed run must
+    // reproduce.
+    let base_dir = tmp_dir("baseline");
+    let (base_journal, base_out) = (base_dir.join("journal.log"), base_dir.join("out.jsonl"));
+    let baseline = run_cli(&campaign_args(&base_journal, &base_out, false), None);
+    assert!(
+        baseline.status.success(),
+        "baseline campaign failed: {}",
+        String::from_utf8_lossy(&baseline.stderr)
+    );
+    let baseline_out = normalize(&std::fs::read_to_string(&base_out).unwrap());
+    assert_eq!(journal_entries(&base_journal).len(), CELLS);
+
+    // `mid-record:2` tears the second journal frame between its two
+    // halves; `pre-sync:2` dies with the second frame written but not
+    // fsynced; `pre-rename:1` dies inside the `--out` atomic write,
+    // after the journal is complete but before the output exists.
+    for spec in ["mid-record:2", "pre-sync:2", "pre-rename:1"] {
+        let dir = tmp_dir(&spec.replace(':', "-"));
+        let (journal, out) = (dir.join("journal.log"), dir.join("out.jsonl"));
+
+        let killed = run_cli(&campaign_args(&journal, &out, false), Some(spec));
+        assert!(
+            !killed.status.success(),
+            "`{spec}` should abort the process"
+        );
+        let stderr = String::from_utf8_lossy(&killed.stderr);
+        assert!(
+            stderr.contains("armed kill-point"),
+            "`{spec}` death must come from the armed kill-point, got: {stderr}"
+        );
+        assert!(
+            !out.exists(),
+            "`{spec}`: a crashed run must never leave a partial output file"
+        );
+        let survived = journal_entries(&journal).len();
+        assert!(
+            survived <= CELLS,
+            "`{spec}`: journal holds {survived} entries before resume"
+        );
+
+        let resumed = run_cli(&campaign_args(&journal, &out, true), None);
+        assert!(
+            resumed.status.success(),
+            "`{spec}` resume failed: {}",
+            String::from_utf8_lossy(&resumed.stderr)
+        );
+        assert_eq!(
+            normalize(&std::fs::read_to_string(&out).unwrap()),
+            baseline_out,
+            "`{spec}`: resumed output must be byte-identical to the uninterrupted run"
+        );
+        // Recovery healed the journal to exactly the grid: replayed
+        // cells are not re-appended, re-run cells are.
+        assert_eq!(journal_entries(&journal).len(), CELLS, "`{spec}`");
+    }
+}

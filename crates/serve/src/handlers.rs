@@ -26,14 +26,9 @@ use sttlock_exec::{Budget, KeyBuilder};
 use sttlock_netlist::{bench_format, Netlist};
 use sttlock_techlib::Library;
 
+use crate::cache::HARDEN_KEY_VERSION;
 use crate::http::{Request, Response};
 use crate::Shared;
-
-/// Version salt for the harden response-cache keying. v1 was the
-/// pre-exec string-descriptor scheme (`serve.harden|v1|…`); v2 keys the
-/// same inputs as typed [`KeyBuilder`] fields, so stale v1 entries are
-/// invisible rather than misparsed.
-const HARDEN_KEY_VERSION: u32 = 2;
 
 /// Routes one request. Unknown paths are 404; known paths with the
 /// wrong method are 405.
@@ -134,8 +129,10 @@ fn parse_flow_request(req: &Request) -> Result<FlowRequest, Response> {
 
 /// `POST /v1/harden` — run the selection/replacement flow and return
 /// the bitstream plus overhead and security metrics. Idempotent per
-/// (bench, algorithm, seed): responses are cached under the campaign
-/// cache's content-hash keying, so repeats skip the flow entirely.
+/// (bench, algorithm, seed): responses are cached in the persistent
+/// [`crate::cache::HardenCache`], so repeats skip the flow entirely —
+/// including repeats arriving after a server restart, which hit the
+/// warm-loaded log.
 fn harden(shared: &Shared, req: &Request, budget: &Budget) -> Response {
     let start = Instant::now();
     let fr = match parse_flow_request(req) {

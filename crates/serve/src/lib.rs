@@ -33,11 +33,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod client;
 pub mod handlers;
 pub mod http;
 
-use std::fs;
 use std::io::{self, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{self, AssertUnwindSafe};
@@ -46,10 +46,10 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use sttlock_campaign::cache::Cache;
 use sttlock_exec::{Budget, CancelToken, Pool, PoolFull};
 use sttlock_obs::{Fanout, MetricsCollector, TraceCollector};
 
+use cache::HardenCache;
 use http::{Limits, Response};
 
 /// How long the accept loop sleeps when no connection is pending.
@@ -71,8 +71,9 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Per-request wall budget, measured from accept; overruns are 504.
     pub request_timeout: Duration,
-    /// Response cache directory (shared keying with the campaign
-    /// cache); `None` disables caching.
+    /// Response cache directory: holds the persistent
+    /// [`cache::HardenCache`] record log, warm-loaded on boot so
+    /// repeats hit across restarts. `None` disables caching.
     pub cache_dir: Option<PathBuf>,
     /// HTTP parse limits.
     pub limits: Limits,
@@ -104,7 +105,7 @@ pub(crate) struct Shared {
     pub(crate) request_timeout: Duration,
     pub(crate) limits: Limits,
     pub(crate) debug_endpoints: bool,
-    pub(crate) cache: Option<Cache>,
+    pub(crate) cache: Option<HardenCache>,
     pub(crate) metrics: Arc<MetricsCollector>,
     pub(crate) started: Instant,
     pub(crate) workers: usize,
@@ -177,7 +178,7 @@ impl Server {
             request_timeout: cfg.request_timeout,
             limits: cfg.limits,
             debug_endpoints: cfg.debug_endpoints,
-            cache: cfg.cache_dir.and_then(Cache::open),
+            cache: cfg.cache_dir.and_then(HardenCache::open),
             metrics: metrics.clone(),
             started: Instant::now(),
             workers,
@@ -242,13 +243,16 @@ impl Server {
             let _ = h.join();
         }
         drop(self.pool.take());
+        if let Some(cache) = &self.shared.cache {
+            // Clean exits leave a durable cache even though appends
+            // run under `FsyncPolicy::Never`.
+            cache.flush();
+        }
         if let Some((t, path)) = self.trace.take() {
-            if let Some(parent) = path.parent() {
-                if !parent.as_os_str().is_empty() {
-                    let _ = fs::create_dir_all(parent);
-                }
-            }
-            let _ = fs::write(path, t.to_jsonl());
+            // Atomic temp+rename: a crash (or armed kill-point) during
+            // the export leaves the previous trace intact, never a
+            // half-written JSONL file.
+            let _ = sttlock_store::write_atomic(&path, t.to_jsonl());
         }
         sttlock_obs::uninstall();
         self.joined = true;

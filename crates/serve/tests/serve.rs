@@ -127,6 +127,57 @@ fn harden_round_trips_and_cache_hits_are_fast() {
     server.shutdown();
 }
 
+#[test]
+fn restart_warm_loads_the_persistent_cache() {
+    let _guard = serial();
+    let dir = tmp_dir("restart");
+    let body = bench_body(11);
+
+    // First life: compute and cache.
+    let cold_text = {
+        let cfg = ServeConfig {
+            cache_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(cfg).unwrap();
+        let addr = server.addr().to_string();
+        let cold = post(&addr, "/v1/harden", &body);
+        assert_eq!(cold.status, 200, "{}", cold.body_text());
+        assert!(cold.body_text().contains("\"cached\":false"));
+        server.shutdown();
+        cold.body_text()
+    };
+
+    // Second life, same cache dir: the very first repeat request must
+    // be answered from the warm-loaded log, not recomputed.
+    let cfg = ServeConfig {
+        cache_dir: Some(dir),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr().to_string();
+    let warm = post(&addr, "/v1/harden", &body);
+    assert_eq!(warm.status, 200, "{}", warm.body_text());
+    let warm_text = warm.body_text();
+    assert!(
+        warm_text.contains("\"cached\":true"),
+        "first post-restart repeat must be a cache hit: {warm_text}"
+    );
+    assert_eq!(
+        strip_volatile(&cold_text),
+        strip_volatile(&warm_text),
+        "warm-loaded response should carry the same flow result"
+    );
+
+    let metrics = get(&addr, "/metrics").body_text();
+    assert!(
+        metrics.contains("sttlock_counter{name=\"store.cache_warm_hits\"} 1"),
+        "{metrics}"
+    );
+
+    server.shutdown();
+}
+
 fn strip_volatile(body: &str) -> String {
     let Ok(Json::Obj(mut map)) = Json::parse(body) else {
         panic!("response body is not a JSON object: {body}");

@@ -1,0 +1,227 @@
+//! The on-disk record frame: a version-tagged, length-framed,
+//! CRC-checksummed envelope around one record payload.
+//!
+//! ```text
+//! ┌──────────┬────────────┬────────────┬───────────────┐
+//! │ ver (u8) │ len (u32LE)│ crc (u32LE)│ payload (len) │
+//! └──────────┴────────────┴────────────┴───────────────┘
+//! ```
+//!
+//! The version byte is deliberately a value (`0xA5`) that no textual
+//! format starts with, so a legacy JSONL journal (which starts with
+//! `{`) is recognizable *as* legacy rather than misread as a torn
+//! frame. The CRC covers the payload only; the header fields defend
+//! themselves (a corrupt `len` either overruns the remaining bytes or
+//! lands the scanner on a byte that is not a version tag).
+
+/// Current frame format version. Bumping it makes every old log read
+/// as fully corrupt — do so only with a migration path.
+pub const FRAME_VERSION: u8 = 0xA5;
+
+/// Frame header size in bytes: version + length + CRC.
+pub const HEADER_LEN: usize = 1 + 4 + 4;
+
+/// Upper bound on a single record payload. Anything larger is treated
+/// as corruption: the bound keeps a corrupt length field from driving
+/// a multi-gigabyte allocation during recovery.
+pub const MAX_RECORD_LEN: usize = 64 << 20;
+
+/// IEEE CRC-32 (polynomial `0xEDB88320`), table-driven.
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// The IEEE CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Encodes one payload into a full frame (header + payload).
+pub fn encode(payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_RECORD_LEN);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.push(FRAME_VERSION);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Why a scan stopped before the end of the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// Fewer than [`HEADER_LEN`] bytes remained — a torn header.
+    TornHeader,
+    /// The version byte is not [`FRAME_VERSION`].
+    BadVersion,
+    /// The length field exceeds [`MAX_RECORD_LEN`].
+    OversizeLength,
+    /// The length field points past the end of the log — a torn
+    /// payload (the classic crash-mid-append shape).
+    TornPayload,
+    /// The payload's CRC does not match the header — bit rot or an
+    /// overwritten region.
+    BadCrc,
+}
+
+impl CorruptKind {
+    /// Stable tag for reports and logs.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CorruptKind::TornHeader => "torn_header",
+            CorruptKind::BadVersion => "bad_version",
+            CorruptKind::OversizeLength => "oversize_length",
+            CorruptKind::TornPayload => "torn_payload",
+            CorruptKind::BadCrc => "bad_crc",
+        }
+    }
+}
+
+/// The result of scanning a byte buffer as a frame sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scan<'a> {
+    /// The payloads of every valid frame, in log order.
+    pub payloads: Vec<&'a [u8]>,
+    /// Bytes covered by the valid prefix (the truncate-to offset).
+    pub valid_len: usize,
+    /// Why the scan stopped early, if it did. `None` means the buffer
+    /// was a clean sequence of whole frames.
+    pub corruption: Option<CorruptKind>,
+}
+
+/// Scans `bytes` as a sequence of frames, stopping at the first
+/// invalid one. Never panics, never reads past the buffer, never
+/// yields a payload whose CRC does not match — the recovery
+/// guarantees of the whole store reduce to this function.
+pub fn scan(bytes: &[u8]) -> Scan<'_> {
+    let mut payloads = Vec::new();
+    let mut at = 0usize;
+    let corruption = loop {
+        let rest = &bytes[at..];
+        if rest.is_empty() {
+            break None;
+        }
+        if rest.len() < HEADER_LEN {
+            break Some(CorruptKind::TornHeader);
+        }
+        if rest[0] != FRAME_VERSION {
+            break Some(CorruptKind::BadVersion);
+        }
+        let len = u32::from_le_bytes([rest[1], rest[2], rest[3], rest[4]]) as usize;
+        if len > MAX_RECORD_LEN {
+            break Some(CorruptKind::OversizeLength);
+        }
+        if rest.len() < HEADER_LEN + len {
+            break Some(CorruptKind::TornPayload);
+        }
+        let crc = u32::from_le_bytes([rest[5], rest[6], rest[7], rest[8]]);
+        let payload = &rest[HEADER_LEN..HEADER_LEN + len];
+        if crc32(payload) != crc {
+            break Some(CorruptKind::BadCrc);
+        }
+        payloads.push(payload);
+        at += HEADER_LEN + len;
+    };
+    Scan {
+        payloads,
+        valid_len: at,
+        corruption,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_then_scan_round_trips() {
+        let mut log = Vec::new();
+        log.extend_from_slice(&encode(b"alpha"));
+        log.extend_from_slice(&encode(b""));
+        log.extend_from_slice(&encode(b"gamma"));
+        let scan = scan(&log);
+        assert_eq!(scan.payloads, vec![&b"alpha"[..], b"", b"gamma"]);
+        assert_eq!(scan.valid_len, log.len());
+        assert_eq!(scan.corruption, None);
+    }
+
+    #[test]
+    fn every_prefix_truncation_yields_a_record_prefix() {
+        let payloads: [&[u8]; 3] = [b"one", b"two-longer", b"three"];
+        let mut log = Vec::new();
+        for p in payloads {
+            log.extend_from_slice(&encode(p));
+        }
+        for cut in 0..=log.len() {
+            let scan = scan(&log[..cut]);
+            // Whatever survives is a prefix of the original sequence.
+            assert!(scan.payloads.len() <= payloads.len());
+            for (got, want) in scan.payloads.iter().zip(payloads) {
+                assert_eq!(*got, want);
+            }
+            assert!(scan.valid_len <= cut);
+            // A cut mid-frame is reported as torn, a cut on a frame
+            // boundary is clean.
+            let on_boundary = scan.valid_len == cut;
+            assert_eq!(scan.corruption.is_none(), on_boundary, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_bytes_fail_the_crc() {
+        let mut log = encode(b"payload");
+        let last = log.len() - 1;
+        log[last] ^= 0x01;
+        let scan = scan(&log);
+        assert!(scan.payloads.is_empty());
+        assert_eq!(scan.corruption, Some(CorruptKind::BadCrc));
+    }
+
+    #[test]
+    fn oversize_length_is_rejected_without_allocation() {
+        let mut log = vec![FRAME_VERSION];
+        log.extend_from_slice(&u32::MAX.to_le_bytes());
+        log.extend_from_slice(&[0; 4]);
+        log.extend_from_slice(&[0; 64]);
+        let scan = scan(&log);
+        assert_eq!(scan.corruption, Some(CorruptKind::OversizeLength));
+        assert_eq!(scan.valid_len, 0);
+    }
+
+    #[test]
+    fn a_legacy_text_file_reads_as_bad_version_at_offset_zero() {
+        let scan = scan(b"{\"status\":\"ok\"}\n");
+        assert_eq!(scan.corruption, Some(CorruptKind::BadVersion));
+        assert_eq!(scan.valid_len, 0);
+        assert!(scan.payloads.is_empty());
+    }
+}

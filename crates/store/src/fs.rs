@@ -1,0 +1,311 @@
+//! The filesystem seam: everything the store does to disk goes
+//! through the [`Fs`] trait, so the chaos harness ([`crate::ChaosFs`])
+//! can interpose deterministic short writes, torn writes, failed
+//! fsyncs and simulated process deaths under the *same* store code
+//! that production runs.
+//!
+//! [`StdFs`] is the real implementation. It also hosts the
+//! process-level kill-point hook: arming `STTLOCK_KILL_POINT=<name>[:n]`
+//! in the environment makes the nth crossing of that named checkpoint
+//! abort the process (`std::process::abort`, i.e. a genuine
+//! uncatchable death mid-write) — CI's crash matrix uses it to die at
+//! byte-exact positions inside an append or an atomic rename.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Named positions inside store write paths where a crash is
+/// interesting. The store crosses each checkpoint via
+/// [`Fs::checkpoint`]; what happens there depends on the
+/// implementation (nothing, a simulated death, or a real abort).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum KillPoint {
+    /// Between the two halves of a record append: the log is left with
+    /// a torn frame (the header or payload cut mid-byte-stream).
+    MidRecord,
+    /// After the full frame is written but before the fsync the policy
+    /// would issue: the record may or may not survive the crash.
+    PreSync,
+    /// After an atomic write's temp file is written and synced but
+    /// before the rename: the destination must still hold its old
+    /// content (or not exist) after the crash.
+    PreRename,
+}
+
+impl KillPoint {
+    /// All checkpoints, for matrix-style tests.
+    pub const ALL: [KillPoint; 3] = [
+        KillPoint::MidRecord,
+        KillPoint::PreSync,
+        KillPoint::PreRename,
+    ];
+
+    /// The environment-variable name of this checkpoint.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KillPoint::MidRecord => "mid-record",
+            KillPoint::PreSync => "pre-sync",
+            KillPoint::PreRename => "pre-rename",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<KillPoint> {
+        KillPoint::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+/// An open append-only log handle.
+pub trait LogFile: Send {
+    /// Appends `bytes` at the end of the file. All-or-error: a torn
+    /// write must surface as `Err` so the caller can heal the tail.
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()>;
+    /// Flushes written bytes to stable storage (fsync).
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// The store's filesystem interface. Object-safe so a log can hold an
+/// `Arc<dyn Fs>` and tests can swap in [`crate::ChaosFs`].
+pub trait Fs: Send + Sync {
+    /// Reads a whole file. Missing files are an error (the caller
+    /// decides whether absence is fine).
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Opens (creating if needed) an append-only handle.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn LogFile>>;
+    /// Truncates the file to exactly `len` bytes.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Creates-or-replaces a file with `bytes` (non-atomic; the atomic
+    /// helper builds on this plus [`Fs::rename`]).
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Fsyncs an existing file (or directory) by path.
+    fn sync_path(&self, path: &Path) -> io::Result<()>;
+    /// Renames `from` onto `to` (atomic on POSIX when both are in the
+    /// same directory).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Creates a directory and its ancestors.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Crosses a named crash checkpoint. The default is a no-op;
+    /// [`StdFs`] aborts the process when the checkpoint is armed via
+    /// `STTLOCK_KILL_POINT`, [`crate::ChaosFs`] simulates a death by
+    /// failing this and every later operation.
+    fn checkpoint(&self, _point: KillPoint) -> io::Result<()> {
+        Ok(())
+    }
+    /// Whether appends should be split around [`KillPoint::MidRecord`].
+    /// `false` keeps the hot path at one write syscall per record.
+    fn split_appends(&self) -> bool {
+        false
+    }
+}
+
+/// The armed process kill-point, parsed from `STTLOCK_KILL_POINT`
+/// (`<name>` or `<name>:<nth>`, 1-based) once per process.
+fn armed_kill() -> Option<(KillPoint, u64)> {
+    static ARMED: OnceLock<Option<(KillPoint, u64)>> = OnceLock::new();
+    *ARMED.get_or_init(|| {
+        let spec = std::env::var("STTLOCK_KILL_POINT").ok()?;
+        let (name, nth) = match spec.split_once(':') {
+            Some((name, n)) => (name, n.parse().ok()?),
+            None => (spec.as_str(), 1),
+        };
+        Some((KillPoint::from_name(name)?, nth.max(1)))
+    })
+}
+
+/// Counts checkpoint crossings of the armed point, process-wide.
+static KILL_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Crosses a process-level kill point: aborts iff `STTLOCK_KILL_POINT`
+/// names `point` and this is the configured crossing.
+fn process_kill_point(point: KillPoint) {
+    if let Some((armed, nth)) = armed_kill() {
+        if armed == point && KILL_HITS.fetch_add(1, Ordering::SeqCst) + 1 == nth {
+            // The marker line lets a harness confirm the death was the
+            // armed kill-point, not an unrelated crash.
+            eprintln!(
+                "sttlock-store: armed kill-point `{}` hit, aborting",
+                armed.name()
+            );
+            std::process::abort();
+        }
+    }
+}
+
+/// The real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdFs;
+
+struct StdLogFile(File);
+
+impl LogFile for StdLogFile {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.0.write_all(bytes)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+}
+
+impl Fs for StdFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn LogFile>> {
+        let file = OpenOptions::new().append(true).create(true).open(path)?;
+        Ok(Box::new(StdLogFile(file)))
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)?;
+        file.sync_all()
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn sync_path(&self, path: &Path) -> io::Result<()> {
+        File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn checkpoint(&self, point: KillPoint) -> io::Result<()> {
+        process_kill_point(point);
+        Ok(())
+    }
+
+    fn split_appends(&self) -> bool {
+        // Split only when a kill-point is armed: the mid-record
+        // checkpoint needs a byte position to exist between two
+        // writes, and production appends stay single-syscall.
+        armed_kill().is_some()
+    }
+}
+
+/// Monotonic discriminator for temp-file names within one process.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The sibling temp path an atomic write stages into: same directory
+/// (same filesystem, so the rename is atomic), unique per process ×
+/// sequence so concurrent writers never collide.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unnamed".to_owned());
+    path.with_file_name(format!(".{name}.tmp-{}-{seq}", std::process::id()))
+}
+
+/// Atomically replaces `path` with `bytes` through `fs`: write a
+/// sibling temp file, fsync it, rename over the destination, then
+/// best-effort fsync the parent directory. A crash at any point leaves
+/// either the old content or the new — never a truncated mix. The
+/// staged temp is cleaned up on any failure after it was created.
+pub fn write_atomic_with(fs: &dyn Fs, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs.create_dir_all(parent)?;
+        }
+    }
+    let tmp = tmp_sibling(path);
+    let staged = fs
+        .write(&tmp, bytes)
+        .and_then(|()| fs.sync_path(&tmp))
+        .and_then(|()| fs.checkpoint(KillPoint::PreRename))
+        .and_then(|()| fs.rename(&tmp, path));
+    if let Err(e) = staged {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    sttlock_obs::counter("store.atomic_writes", 1);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = fs.sync_path(parent);
+        }
+    }
+    Ok(())
+}
+
+/// [`write_atomic_with`] over the real filesystem — the drop-in
+/// replacement for every `fs::write` that produces a user-visible
+/// artifact (traces, rendered tables, exported netlists).
+pub fn write_atomic(path: impl AsRef<Path>, bytes: impl AsRef<[u8]>) -> io::Result<()> {
+    write_atomic_with(&StdFs, path.as_ref(), bytes.as_ref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("sttlock-store-fs-tests")
+            .join(format!("{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_content_and_leaves_no_temp() {
+        let dir = tmp_dir("atomic");
+        let path = dir.join("artifact.txt");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+    }
+
+    #[test]
+    fn atomic_write_creates_missing_parents() {
+        let dir = tmp_dir("parents");
+        let path = dir.join("a").join("b").join("artifact.txt");
+        write_atomic(&path, b"nested").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"nested");
+    }
+
+    #[test]
+    fn append_handle_appends_across_reopens() {
+        let dir = tmp_dir("append");
+        let path = dir.join("log");
+        {
+            let mut f = StdFs.open_append(&path).unwrap();
+            f.append(b"one").unwrap();
+            f.sync().unwrap();
+        }
+        {
+            let mut f = StdFs.open_append(&path).unwrap();
+            f.append(b"two").unwrap();
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), b"onetwo");
+        StdFs.truncate(&path, 4).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"onet");
+    }
+
+    #[test]
+    fn kill_point_names_round_trip() {
+        for p in KillPoint::ALL {
+            assert_eq!(KillPoint::from_name(p.name()), Some(p));
+        }
+        assert_eq!(KillPoint::from_name("nonsense"), None);
+    }
+}
