@@ -33,6 +33,7 @@ pub mod json;
 pub mod record;
 pub mod render;
 pub mod runner;
+pub mod wire;
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -42,7 +43,7 @@ use sttlock_fault::FaultModel;
 
 pub use journal::{Journal, JournalEntry, OpenedJournal, JOURNAL_SCHEMA_VERSION};
 pub use record::{AttackMetrics, FlowMetrics, RepairMetrics, RunRecord, RunStatus};
-pub use runner::{execute, CampaignResult};
+pub use runner::{cell_journal_key, execute, CampaignResult, CellExecutor};
 
 /// One circuit of the grid.
 #[derive(Debug, Clone, PartialEq, Eq)]

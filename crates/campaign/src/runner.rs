@@ -291,6 +291,34 @@ fn finalize_records(cells: &[Cell], slots: Vec<Option<RunRecord>>) -> Vec<RunRec
         .collect()
 }
 
+/// An execute-one entry point for external schedulers (the cluster
+/// worker): the same isolation, caching and generation-pool reuse as a
+/// full [`execute`] run, held open across independent dispatches so
+/// repeated cells hit the same reuse paths a local campaign would.
+pub struct CellExecutor {
+    cache: Option<Cache>,
+    pool: GenPool,
+}
+
+impl CellExecutor {
+    /// Opens the executor, warm-loading the persistent result cache
+    /// when a directory is given (`None`, or an unopenable directory,
+    /// disables caching exactly like [`CampaignSpec::cache_dir`]).
+    pub fn new(cache_dir: Option<std::path::PathBuf>) -> CellExecutor {
+        CellExecutor {
+            cache: cache_dir.and_then(Cache::open),
+            pool: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Runs one cell under the same fault-isolation contract as a grid
+    /// run: the result is always a record — panics, hangs and failures
+    /// become their structured statuses, never an unwind.
+    pub fn run(&self, cell: &Cell, timeout: Duration) -> RunRecord {
+        run_cell_isolated(cell, timeout, self.cache.as_ref(), &self.pool)
+    }
+}
+
 /// Runs one cell on a detached thread with a wall-clock budget.
 ///
 /// On timeout the thread is abandoned, not killed: the runner cancels
@@ -377,8 +405,9 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// The cell's identity under [`journal::journal_key`].
-fn cell_journal_key(cell: &Cell) -> String {
+/// The cell's identity under [`journal::journal_key`] — the key the
+/// resume journal, and the cluster's dispatch journal, index cells by.
+pub fn cell_journal_key(cell: &Cell) -> String {
     journal::journal_key(
         cell.circuit.name(),
         &cell.algorithm.to_string(),

@@ -1,0 +1,250 @@
+//! Wire serialization for campaign cells.
+//!
+//! The cluster coordinator ships individual grid cells to workers over
+//! HTTP; this module gives [`Cell`] (and every type it embeds) a JSON
+//! round-trip so a work unit can cross a process boundary and execute
+//! remotely exactly as it would have locally. Encoding is lossless by
+//! construction: every field is carried verbatim (`f64` probabilities
+//! ride on the shortest-round-trip `Display` the [`Json`] writer uses),
+//! so the decoded cell produces the same cache keys, journal keys and
+//! records as the original.
+
+use sttlock_core::SelectionAlgorithm;
+use sttlock_fault::FaultModel;
+
+use crate::json::Json;
+use crate::{AttackKind, Cell, CircuitSpec, SelectionOverrides};
+
+impl Cell {
+    /// Serializes the cell for dispatch.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("circuit", circuit_to_json(&self.circuit)),
+            ("algorithm", Json::from(self.algorithm.to_string().as_str())),
+            ("seed", Json::from(self.seed)),
+            ("attack", attack_to_json(&self.attack)),
+            ("fault", fault_to_json(&self.fault)),
+        ];
+        if let Some(g) = self.overrides.independent_gates {
+            pairs.push(("indep_gates", Json::from(g)));
+        }
+        if let Some(p) = self.overrides.parametric_paths {
+            pairs.push(("paths", Json::from(p)));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Decodes a dispatched cell; `None` on any missing or malformed
+    /// field (the receiver treats that as protocol skew).
+    pub fn from_json(v: &Json) -> Option<Cell> {
+        Some(Cell {
+            circuit: circuit_from_json(v.get("circuit")?)?,
+            algorithm: v
+                .get("algorithm")?
+                .as_str()?
+                .parse::<SelectionAlgorithm>()
+                .ok()?,
+            seed: v.get("seed")?.as_u64()?,
+            attack: attack_from_json(v.get("attack")?)?,
+            overrides: SelectionOverrides {
+                independent_gates: v
+                    .get("indep_gates")
+                    .and_then(Json::as_u64)
+                    .map(|g| g as usize),
+                parametric_paths: v.get("paths").and_then(Json::as_u64).map(|p| p as usize),
+            },
+            fault: fault_from_json(v.get("fault")?)?,
+        })
+    }
+}
+
+fn circuit_to_json(circuit: &CircuitSpec) -> Json {
+    match circuit {
+        CircuitSpec::Profile(name) => Json::obj([
+            ("kind", Json::from("profile")),
+            ("name", Json::from(name.as_str())),
+        ]),
+        CircuitSpec::Custom {
+            name,
+            gates,
+            dffs,
+            inputs,
+            outputs,
+        } => Json::obj([
+            ("kind", Json::from("custom")),
+            ("name", Json::from(name.as_str())),
+            ("gates", Json::from(*gates)),
+            ("dffs", Json::from(*dffs)),
+            ("inputs", Json::from(*inputs)),
+            ("outputs", Json::from(*outputs)),
+        ]),
+        CircuitSpec::InjectPanic => Json::obj([("kind", Json::from("inject-panic"))]),
+        CircuitSpec::InjectTimeout => Json::obj([("kind", Json::from("inject-timeout"))]),
+        CircuitSpec::InjectPoison => Json::obj([("kind", Json::from("inject-poison"))]),
+    }
+}
+
+fn circuit_from_json(v: &Json) -> Option<CircuitSpec> {
+    match v.get("kind")?.as_str()? {
+        "profile" => Some(CircuitSpec::Profile(v.get("name")?.as_str()?.to_owned())),
+        "custom" => Some(CircuitSpec::Custom {
+            name: v.get("name")?.as_str()?.to_owned(),
+            gates: v.get("gates")?.as_u64()? as usize,
+            dffs: v.get("dffs")?.as_u64()? as usize,
+            inputs: v.get("inputs")?.as_u64()? as usize,
+            outputs: v.get("outputs")?.as_u64()? as usize,
+        }),
+        "inject-panic" => Some(CircuitSpec::InjectPanic),
+        "inject-timeout" => Some(CircuitSpec::InjectTimeout),
+        "inject-poison" => Some(CircuitSpec::InjectPoison),
+        _ => None,
+    }
+}
+
+fn attack_to_json(attack: &AttackKind) -> Json {
+    match attack {
+        AttackKind::None => Json::obj([("tag", Json::from("none"))]),
+        AttackKind::Sensitization => Json::obj([("tag", Json::from("sens"))]),
+        AttackKind::Sat { max_dips } => Json::obj([
+            ("tag", Json::from("sat")),
+            ("max_dips", Json::from(*max_dips)),
+        ]),
+        AttackKind::SequentialSat { frames, max_dips } => Json::obj([
+            ("tag", Json::from("seq")),
+            ("frames", Json::from(*frames)),
+            ("max_dips", Json::from(*max_dips)),
+        ]),
+    }
+}
+
+fn attack_from_json(v: &Json) -> Option<AttackKind> {
+    match v.get("tag")?.as_str()? {
+        "none" => Some(AttackKind::None),
+        "sens" => Some(AttackKind::Sensitization),
+        "sat" => Some(AttackKind::Sat {
+            max_dips: v.get("max_dips")?.as_u64()? as usize,
+        }),
+        "seq" => Some(AttackKind::SequentialSat {
+            frames: v.get("frames")?.as_u64()? as usize,
+            max_dips: v.get("max_dips")?.as_u64()? as usize,
+        }),
+        _ => None,
+    }
+}
+
+fn fault_to_json(fault: &FaultModel) -> Json {
+    Json::obj([
+        ("wf", Json::from(fault.write_failure_p)),
+        ("rf", Json::from(fault.retention_flip_p)),
+        ("s0", Json::from(fault.stuck_at_zero_p)),
+        ("s1", Json::from(fault.stuck_at_one_p)),
+        ("cs", Json::from(fault.cmos_stuck_p)),
+    ])
+}
+
+fn fault_from_json(v: &Json) -> Option<FaultModel> {
+    Some(FaultModel {
+        write_failure_p: v.get("wf")?.as_f64()?,
+        retention_flip_p: v.get("rf")?.as_f64()?,
+        stuck_at_zero_p: v.get("s0")?.as_f64()?,
+        stuck_at_one_p: v.get("s1")?.as_f64()?,
+        cmos_stuck_p: v.get("cs")?.as_f64()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{runner::cell_journal_key, CampaignSpec};
+
+    fn round_trip(cell: &Cell) -> Cell {
+        let text = cell.to_json().to_string();
+        let parsed = Json::parse(&text).expect("wire output parses");
+        Cell::from_json(&parsed).expect("wire output decodes")
+    }
+
+    #[test]
+    fn every_grid_cell_shape_round_trips_losslessly() {
+        let spec = CampaignSpec {
+            circuits: vec![
+                CircuitSpec::Profile("s27".into()),
+                CircuitSpec::Custom {
+                    name: "tiny".into(),
+                    gates: 60,
+                    dffs: 4,
+                    inputs: 6,
+                    outputs: 4,
+                },
+                CircuitSpec::InjectPanic,
+                CircuitSpec::InjectTimeout,
+                CircuitSpec::InjectPoison,
+            ],
+            algorithms: SelectionAlgorithm::ALL.to_vec(),
+            seeds: vec![0, 42, u64::MAX >> 12],
+            attacks: vec![
+                AttackKind::None,
+                AttackKind::Sensitization,
+                AttackKind::Sat { max_dips: 0 },
+                AttackKind::SequentialSat {
+                    frames: 4,
+                    max_dips: 100,
+                },
+            ],
+            overrides: vec![
+                SelectionOverrides::default(),
+                SelectionOverrides {
+                    independent_gates: Some(7),
+                    parametric_paths: Some(3),
+                },
+            ],
+            faults: vec![
+                FaultModel::default(),
+                FaultModel::write_failures(0.05),
+                FaultModel {
+                    write_failure_p: 0.001,
+                    retention_flip_p: 0.125,
+                    stuck_at_zero_p: 0.25,
+                    stuck_at_one_p: 0.0625,
+                    cmos_stuck_p: 1e-9,
+                },
+            ],
+            ..CampaignSpec::default()
+        };
+        let cells = spec.cells();
+        assert!(cells.len() > 100, "the sweep must cover a real grid");
+        for cell in &cells {
+            let decoded = round_trip(cell);
+            assert_eq!(&decoded, cell);
+            // Identity is preserved where it matters downstream: the
+            // journal/dispatch key and the cache descriptor inputs.
+            assert_eq!(cell_journal_key(&decoded), cell_journal_key(cell));
+        }
+    }
+
+    #[test]
+    fn truncated_or_foreign_payloads_decode_to_none_not_panics() {
+        let cell = Cell {
+            circuit: CircuitSpec::Profile("s27".into()),
+            algorithm: SelectionAlgorithm::Independent,
+            seed: 1,
+            attack: AttackKind::Sat { max_dips: 5 },
+            overrides: SelectionOverrides::default(),
+            fault: FaultModel::default(),
+        };
+        let Json::Obj(full) = cell.to_json() else {
+            panic!("cells encode as objects");
+        };
+        for key in full.keys() {
+            let mut broken = full.clone();
+            broken.remove(key.as_str());
+            assert!(
+                Cell::from_json(&Json::Obj(broken)).is_none(),
+                "dropping `{key}` must fail the decode"
+            );
+        }
+        assert!(Cell::from_json(&Json::Null).is_none());
+        assert!(
+            Cell::from_json(&Json::parse("{\"circuit\":{\"kind\":\"warp\"}}").unwrap()).is_none()
+        );
+    }
+}

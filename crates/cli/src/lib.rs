@@ -12,6 +12,9 @@
 //! sttlock-cli attack   -i foundry.bench --oracle part.bench --mode sens|sat|seq
 //! sttlock-cli campaign --circuits s27,s298 --seeds 1,2 --cache .campaign \
 //!                      --out runs.jsonl --table all
+//! sttlock-cli cluster coordinate --listen 127.0.0.1:7879 --min-workers 2 \
+//!                      --journal dispatch.log --out runs.jsonl
+//! sttlock-cli cluster work --join 127.0.0.1:7879
 //! ```
 //!
 //! Netlist files are selected by extension: `.bench` (ISCAS '89) or
@@ -245,6 +248,19 @@ commands:
            [--inject-panic] [--inject-timeout]
            [--trace <file.jsonl>] [--trace-summary]
                                            run a parallel experiment grid
+  cluster coordinate [--listen HOST:PORT] [--min-workers N]
+           [--heartbeat-timeout-ms N] [--dispatch-margin-secs N]
+           [--run-timeout-secs N] [--journal <file>] [--resume]
+           + the campaign grid flags     shard a campaign across the
+                                         registered workers and merge
+                                         the records in grid order;
+                                         also fans POST /v1/harden out
+                                         to the least-loaded worker
+  cluster work --join HOST:PORT [--listen HOST:PORT]
+           [--advertise HOST:PORT] [--id NAME] [--cache-dir <dir>]
+           [--heartbeat-ms N] [--request-timeout-ms N]
+                                         join a coordinator and execute
+                                         the cells it dispatches
   serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]
            [--request-timeout-ms N] [--cache-dir <dir>]
            [--max-body-bytes N] [--debug-endpoints]
@@ -302,6 +318,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "attack" => cmd_attack(rest),
         "faults" => cmd_faults(rest),
         "campaign" => cmd_campaign(rest),
+        "cluster" => cmd_cluster(rest),
         "serve" => cmd_serve(rest),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}` (try `sttlock-cli help`)"
@@ -803,11 +820,10 @@ fn parse_circuit(item: &str) -> Result<CircuitSpec, CliError> {
     })
 }
 
-fn cmd_campaign(argv: &[String]) -> Result<String, CliError> {
-    let args = Args::parse(
-        argv,
-        &["inject-panic", "inject-timeout", "resume", "trace-summary"],
-    )?;
+/// Parses the campaign grid flags shared by `campaign` and
+/// `cluster coordinate` — circuits, algorithms, seeds, attacks, the
+/// override/fault axes and the execution knobs — into a spec.
+fn parse_campaign_spec(args: &Args) -> Result<CampaignSpec, CliError> {
     let max_gates = args.get_u64("max-gates", u64::MAX)? as usize;
 
     let mut circuits = match args.get("circuits") {
@@ -906,6 +922,38 @@ fn cmd_campaign(argv: &[String]) -> Result<String, CliError> {
         })?,
     };
 
+    if args.has("resume") && args.get("journal").is_none() {
+        return Err(CliError::Usage(
+            "`--resume` needs `--journal <file.jsonl>` to replay from".into(),
+        ));
+    }
+    // `--jobs 0` is never what the user meant: the spec treats 0 as
+    // "auto", but asking for zero workers explicitly deserves a clear
+    // rejection, not a silent reinterpretation.
+    let jobs = args.get_u64("jobs", 0)? as usize;
+    if args.get("jobs").is_some() && jobs == 0 {
+        return Err(CliError::Usage(
+            "`--jobs` expects at least 1 worker thread (omit the flag for auto)".into(),
+        ));
+    }
+
+    Ok(CampaignSpec {
+        circuits,
+        algorithms,
+        seeds,
+        attacks,
+        overrides,
+        faults,
+        timeout: std::time::Duration::from_secs(args.get_u64("timeout-secs", 600)?),
+        jobs,
+        cache_dir: args.get("cache").map(std::path::PathBuf::from),
+        journal: args.get("journal").map(std::path::PathBuf::from),
+        resume: args.has("resume"),
+    })
+}
+
+/// Validates `--table`, returning the requested rendering.
+fn parse_table(args: &Args) -> Result<&str, CliError> {
     let table = args.get("table").unwrap_or("all");
     if ![
         "none", "table1", "table2", "fig3", "attacks", "faults", "all",
@@ -916,32 +964,36 @@ fn cmd_campaign(argv: &[String]) -> Result<String, CliError> {
             "unknown table `{table}` (table1|table2|fig3|attacks|faults|all|none)"
         )));
     }
-    if args.has("resume") && args.get("journal").is_none() {
-        return Err(CliError::Usage(
-            "`--resume` needs `--journal <file.jsonl>` to replay from".into(),
-        ));
-    }
+    Ok(table)
+}
 
-    let spec = CampaignSpec {
-        circuits,
-        algorithms,
-        seeds,
-        attacks,
-        overrides,
-        faults,
-        timeout: std::time::Duration::from_secs(args.get_u64("timeout-secs", 600)?),
-        jobs: args.get_u64("jobs", 0)? as usize,
-        cache_dir: args.get("cache").map(std::path::PathBuf::from),
-        journal: args.get("journal").map(std::path::PathBuf::from),
-        resume: args.has("resume"),
-    };
+fn cmd_campaign(argv: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(
+        argv,
+        &["inject-panic", "inject-timeout", "resume", "trace-summary"],
+    )?;
+    let spec = parse_campaign_spec(&args)?;
+    let table = parse_table(&args)?;
 
     let trace = Trace::start(&args);
     let result = sttlock_campaign::execute(&spec);
     if let Some(path) = args.get("out") {
         write_artifact(path, result.to_jsonl())?;
     }
+    let mut out = campaign_report(table, &spec, &result);
+    if let Some(trace) = trace {
+        trace.finish(&mut out)?;
+    }
+    Ok(out)
+}
 
+/// Renders the requested tables plus the run summary — shared by the
+/// single-node `campaign` command and `cluster coordinate`.
+fn campaign_report(
+    table: &str,
+    spec: &CampaignSpec,
+    result: &sttlock_campaign::CampaignResult,
+) -> String {
     let seed = spec.seeds[0];
     let has_attacks = spec.attacks.iter().any(|a| *a != AttackKind::None)
         || spec.circuits.iter().any(CircuitSpec::is_injected);
@@ -991,10 +1043,107 @@ fn cmd_campaign(argv: &[String]) -> Result<String, CliError> {
         result.cache_hits(),
         result.wall.as_secs_f64(),
     ));
-    if let Some(trace) = trace {
-        trace.finish(&mut out)?;
+    out
+}
+
+fn cmd_cluster(argv: &[String]) -> Result<String, CliError> {
+    match argv.first().map(String::as_str) {
+        Some("coordinate") => cmd_cluster_coordinate(&argv[1..]),
+        Some("work") => cmd_cluster_work(&argv[1..]),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown cluster subcommand `{other}` (coordinate|work)"
+        ))),
+        None => Err(CliError::Usage(
+            "cluster needs a subcommand: coordinate|work".into(),
+        )),
     }
+}
+
+fn cmd_cluster_coordinate(argv: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(
+        argv,
+        &["inject-panic", "inject-timeout", "resume", "trace-summary"],
+    )?;
+    let mut spec = parse_campaign_spec(&args)?;
+    let table = parse_table(&args)?;
+    // `--journal` here is the coordinator's dispatch journal (it
+    // records dispatches and completions for crash resume). Cells
+    // execute on the workers, so the single-node campaign journal and
+    // cache have no role in this process.
+    spec.journal = None;
+    spec.resume = false;
+    spec.cache_dir = None;
+
+    let cfg = sttlock_cluster::CoordinatorConfig {
+        listen: args.get("listen").unwrap_or("127.0.0.1:7879").to_owned(),
+        min_workers: args.get_u64("min-workers", 1)?.max(1) as usize,
+        heartbeat_timeout: std::time::Duration::from_millis(
+            args.get_u64("heartbeat-timeout-ms", 5_000)?,
+        ),
+        dispatch_margin: std::time::Duration::from_secs(args.get_u64("dispatch-margin-secs", 30)?),
+        journal: args.get("journal").map(Into::into),
+        resume: args.has("resume"),
+        trace_path: args.get("trace").map(Into::into),
+        ..sttlock_cluster::CoordinatorConfig::default()
+    };
+    let min_workers = cfg.min_workers;
+    let coordinator = sttlock_cluster::start_coordinator(cfg)
+        .map_err(|e| CliError::Step(format!("cannot start coordinator: {e}")))?;
+    eprintln!(
+        "sttlock coordinator listening on {addr} (waiting for {min_workers} worker(s); \
+         join with `sttlock-cli cluster work --join {addr}`)",
+        addr = coordinator.addr(),
+    );
+
+    // An explicit wall bound on the whole distributed run; 0 (the
+    // default) trusts the per-cell timeouts and worker liveness.
+    let budget = match args.get_u64("run-timeout-secs", 0)? {
+        0 => sttlock_exec::Budget::unbounded(),
+        secs => sttlock_exec::Budget::with_timeout(std::time::Duration::from_secs(secs)),
+    };
+    let result = coordinator.run_campaign(&spec, &budget);
+    if let Some(path) = args.get("out") {
+        write_artifact(path, result.to_jsonl())?;
+    }
+    let mut out = campaign_report(table, &spec, &result);
+    let digest = coordinator.shutdown();
+    out.push_str(&format!("\ncluster coordinator drained: {digest}\n"));
     Ok(out)
+}
+
+fn cmd_cluster_work(argv: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(argv, &[])?;
+    let join = args.require("join")?.to_owned();
+    let cfg = sttlock_cluster::WorkerConfig {
+        coordinator: join.clone(),
+        listen: args.get("listen").unwrap_or("127.0.0.1:0").to_owned(),
+        advertise: args.get("advertise").map(str::to_owned),
+        worker_id: args.get("id").map(str::to_owned),
+        cache_dir: args.get("cache-dir").map(Into::into),
+        heartbeat: std::time::Duration::from_millis(args.get_u64("heartbeat-ms", 500)?),
+        request_timeout: std::time::Duration::from_millis(
+            args.get_u64("request-timeout-ms", 600_000)?,
+        ),
+        install_obs: true,
+    };
+    let worker = sttlock_cluster::start_worker(cfg)
+        .map_err(|e| CliError::Step(format!("cannot start worker: {e}")))?;
+    eprintln!(
+        "sttlock worker {} serving on {} (coordinator {join}); \
+         stop with POST /admin/shutdown or EOF on stdin",
+        worker.id(),
+        worker.addr(),
+    );
+    // Same local stop channel as `serve`: stdin doubles as the
+    // operator's shutdown signal.
+    let stop = worker.stop_handle();
+    let interactive = std::io::IsTerminal::is_terminal(&std::io::stdin());
+    let watcher = spawn_stdin_watcher(stop, interactive);
+    let digest = worker.wait();
+    if let Some(watcher) = watcher {
+        let _ = watcher.join();
+    }
+    Ok(format!("sttlock worker drained cleanly: {digest}\n"))
 }
 
 fn cmd_serve(argv: &[String]) -> Result<String, CliError> {
@@ -1012,6 +1161,7 @@ fn cmd_serve(argv: &[String]) -> Result<String, CliError> {
         limits,
         debug_endpoints: args.has("debug-endpoints"),
         trace_path: args.get("trace").map(Into::into),
+        install_obs: true,
     };
     let queue_depth = cfg.queue_depth;
     let server = sttlock_serve::Server::start(cfg)
@@ -1168,6 +1318,40 @@ mod tests {
     fn unknown_command_is_rejected() {
         let e = run(&argv(&["frobnicate"])).unwrap_err();
         assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn campaign_rejects_an_explicit_zero_jobs() {
+        let e = run(&argv(&["campaign", "--circuits", "s641", "--jobs", "0"])).unwrap_err();
+        assert!(
+            e.to_string().contains("--jobs"),
+            "the error must name the flag: {e}"
+        );
+        assert!(
+            e.to_string().contains("at least 1"),
+            "the error must explain the bound: {e}"
+        );
+        // The same grid parser serves `cluster coordinate`.
+        let e = run(&argv(&[
+            "cluster",
+            "coordinate",
+            "--circuits",
+            "s641",
+            "--jobs",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(e.to_string().contains("--jobs"));
+    }
+
+    #[test]
+    fn cluster_requires_a_known_subcommand_and_a_join_address() {
+        let e = run(&argv(&["cluster"])).unwrap_err();
+        assert!(e.to_string().contains("coordinate|work"));
+        let e = run(&argv(&["cluster", "dance"])).unwrap_err();
+        assert!(e.to_string().contains("dance"));
+        let e = run(&argv(&["cluster", "work"])).unwrap_err();
+        assert!(e.to_string().contains("--join"));
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! The coordinator/worker wire protocol.
+//!
+//! Every message is a JSON object carrying a `proto` version field;
+//! decoding rejects any payload whose version differs from
+//! [`PROTOCOL_VERSION`], so a mixed-version cluster degrades into
+//! explicit redispatch (the coordinator treats an undecodable response
+//! exactly like a dead worker) instead of silently merging records
+//! produced under different semantics.
+//!
+//! Routes:
+//!
+//! * `POST /cluster/register` (coordinator) — a worker announces its
+//!   id and dial-back address; re-registering refreshes the entry.
+//! * `POST /cluster/heartbeat` (coordinator) — periodic liveness plus
+//!   load/queue-depth; the reply says whether the coordinator knows the
+//!   worker (a restarted coordinator answers `known: false`, which
+//!   tells the worker to re-register).
+//! * `POST /v1/cell` (worker) — one campaign cell; the response body
+//!   is the executed [`RunRecord`].
+
+use sttlock_campaign::json::Json;
+use sttlock_campaign::{Cell, RunRecord};
+
+/// Version of this wire protocol. Bump on any incompatible change to
+/// the message shapes or cell/record encodings.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+fn versioned(pairs: Vec<(&'static str, Json)>) -> Json {
+    let mut all = vec![("proto", Json::from(u64::from(PROTOCOL_VERSION)))];
+    all.extend(pairs);
+    Json::obj(all)
+}
+
+/// Checks the version gate every decoder runs first.
+fn check_proto(v: &Json) -> Option<()> {
+    (v.get("proto")?.as_u64()? as u32 == PROTOCOL_VERSION).then_some(())
+}
+
+/// `POST /cluster/register` body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Register {
+    /// Stable worker identity (survives re-registration).
+    pub worker: String,
+    /// Address the coordinator dials back on (`host:port`).
+    pub addr: String,
+}
+
+impl Register {
+    /// Serializes for the wire.
+    pub fn to_json(&self) -> Json {
+        versioned(vec![
+            ("worker", Json::from(self.worker.as_str())),
+            ("addr", Json::from(self.addr.as_str())),
+        ])
+    }
+
+    /// Decodes; `None` on malformed or version-skewed payloads.
+    pub fn from_json(v: &Json) -> Option<Register> {
+        check_proto(v)?;
+        Some(Register {
+            worker: v.get("worker")?.as_str()?.to_owned(),
+            addr: v.get("addr")?.as_str()?.to_owned(),
+        })
+    }
+}
+
+/// `POST /cluster/heartbeat` body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// The worker's identity.
+    pub worker: String,
+    /// Cells currently executing on the worker.
+    pub load: u64,
+    /// Requests admitted but not yet executing.
+    pub queue_depth: u64,
+}
+
+impl Heartbeat {
+    /// Serializes for the wire.
+    pub fn to_json(&self) -> Json {
+        versioned(vec![
+            ("worker", Json::from(self.worker.as_str())),
+            ("load", Json::from(self.load)),
+            ("queue_depth", Json::from(self.queue_depth)),
+        ])
+    }
+
+    /// Decodes; `None` on malformed or version-skewed payloads.
+    pub fn from_json(v: &Json) -> Option<Heartbeat> {
+        check_proto(v)?;
+        Some(Heartbeat {
+            worker: v.get("worker")?.as_str()?.to_owned(),
+            load: v.get("load")?.as_u64()?,
+            queue_depth: v.get("queue_depth")?.as_u64()?,
+        })
+    }
+}
+
+/// The coordinator's reply to a heartbeat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatReply {
+    /// Whether the coordinator has this worker registered. `false`
+    /// after a coordinator restart — the worker must re-register.
+    pub known: bool,
+}
+
+impl HeartbeatReply {
+    /// Serializes for the wire.
+    pub fn to_json(&self) -> Json {
+        versioned(vec![("known", Json::from(self.known))])
+    }
+
+    /// Decodes; `None` on malformed or version-skewed payloads.
+    pub fn from_json(v: &Json) -> Option<HeartbeatReply> {
+        check_proto(v)?;
+        Some(HeartbeatReply {
+            known: v.get("known")?.as_bool()?,
+        })
+    }
+}
+
+/// `POST /v1/cell` body: one unit of campaign work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRequest {
+    /// The grid cell to execute.
+    pub cell: Cell,
+    /// Per-cell wall budget, milliseconds (the campaign timeout).
+    pub timeout_ms: u64,
+}
+
+impl CellRequest {
+    /// Serializes for the wire.
+    pub fn to_json(&self) -> Json {
+        versioned(vec![
+            ("cell", self.cell.to_json()),
+            ("timeout_ms", Json::from(self.timeout_ms)),
+        ])
+    }
+
+    /// Decodes; `None` on malformed or version-skewed payloads.
+    pub fn from_json(v: &Json) -> Option<CellRequest> {
+        check_proto(v)?;
+        Some(CellRequest {
+            cell: Cell::from_json(v.get("cell")?)?,
+            timeout_ms: v.get("timeout_ms")?.as_u64()?,
+        })
+    }
+}
+
+/// `POST /v1/cell` response: the executed record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResponse {
+    /// The record the worker produced.
+    pub record: RunRecord,
+}
+
+impl CellResponse {
+    /// Serializes for the wire.
+    pub fn to_json(&self) -> Json {
+        versioned(vec![("record", self.record.to_json())])
+    }
+
+    /// Decodes; `None` on malformed or version-skewed payloads.
+    pub fn from_json(v: &Json) -> Option<CellResponse> {
+        check_proto(v)?;
+        Some(CellResponse {
+            record: RunRecord::from_json(v.get("record")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sttlock_campaign::{AttackKind, CircuitSpec, RunStatus, SelectionOverrides};
+
+    #[test]
+    fn every_message_round_trips() {
+        let reg = Register {
+            worker: "w-1".into(),
+            addr: "127.0.0.1:4000".into(),
+        };
+        assert_eq!(
+            Register::from_json(&Json::parse(&reg.to_json().to_string()).unwrap()),
+            Some(reg)
+        );
+
+        let hb = Heartbeat {
+            worker: "w-1".into(),
+            load: 3,
+            queue_depth: 7,
+        };
+        assert_eq!(
+            Heartbeat::from_json(&Json::parse(&hb.to_json().to_string()).unwrap()),
+            Some(hb)
+        );
+        for known in [true, false] {
+            let reply = HeartbeatReply { known };
+            assert_eq!(
+                HeartbeatReply::from_json(&Json::parse(&reply.to_json().to_string()).unwrap()),
+                Some(reply)
+            );
+        }
+
+        let req = CellRequest {
+            cell: Cell {
+                circuit: CircuitSpec::Profile("s27".into()),
+                algorithm: sttlock_core::SelectionAlgorithm::Dependent,
+                seed: 9,
+                attack: AttackKind::Sat { max_dips: 4 },
+                overrides: SelectionOverrides::default(),
+                fault: sttlock_fault::FaultModel::default(),
+            },
+            timeout_ms: 30_000,
+        };
+        assert_eq!(
+            CellRequest::from_json(&Json::parse(&req.to_json().to_string()).unwrap()),
+            Some(req.clone())
+        );
+
+        let resp = CellResponse {
+            record: RunRecord::failure("s27", "dependent", 9, "sat", RunStatus::TimedOut),
+        };
+        assert_eq!(
+            CellResponse::from_json(&Json::parse(&resp.to_json().to_string()).unwrap()),
+            Some(resp)
+        );
+    }
+
+    #[test]
+    fn a_foreign_protocol_version_is_rejected_by_every_decoder() {
+        let mut skewed = Register {
+            worker: "w".into(),
+            addr: "a".into(),
+        }
+        .to_json();
+        if let Json::Obj(map) = &mut skewed {
+            map.insert("proto".into(), Json::from(u64::from(PROTOCOL_VERSION) + 1));
+        }
+        assert_eq!(Register::from_json(&skewed), None);
+        assert_eq!(Heartbeat::from_json(&skewed), None);
+        assert_eq!(HeartbeatReply::from_json(&skewed), None);
+        assert_eq!(CellRequest::from_json(&skewed), None);
+        assert_eq!(CellResponse::from_json(&skewed), None);
+    }
+}

@@ -33,10 +33,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backoff;
 mod budget;
 mod key;
 mod pool;
 
+pub use backoff::Backoff;
 pub use budget::{Budget, BudgetError, CancelToken};
 pub use key::{CacheKey, KeyBuilder};
 pub use pool::{scoped_map, Pool, PoolFull};

@@ -194,6 +194,57 @@ mod tests {
     use crate::{install, span, test_lock, uninstall, TraceCollector};
 
     #[test]
+    fn render_text_round_trips_as_name_value_lines_without_duplicates() {
+        // The text export is what `/metrics` serves and what the CI
+        // smoke jobs diff; every line must parse as `series{name="X"} N`
+        // and no (series, name) pair may repeat.
+        let _guard = test_lock();
+        let metrics = MetricsCollector::new();
+        install(metrics.clone());
+        {
+            let _s = span!("serve.request", endpoint = "harden");
+        }
+        crate::counter("cluster.dispatch", 6);
+        crate::counter("serve.accepted", 1);
+        crate::gauge("serve.in_flight", 2);
+        crate::observe_us("serve.queue_wait", 250);
+        uninstall();
+
+        let text = metrics.render_text();
+        assert!(!text.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for line in text.lines() {
+            let (series, rest) = line
+                .split_once("{name=\"")
+                .unwrap_or_else(|| panic!("line lacks a name label: `{line}`"));
+            assert!(
+                series.starts_with("sttlock_"),
+                "unprefixed series in `{line}`"
+            );
+            let (name, value) = rest
+                .split_once("\"} ")
+                .unwrap_or_else(|| panic!("line lacks a value: `{line}`"));
+            assert!(!name.is_empty(), "empty metric name in `{line}`");
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable value `{value}` in `{line}`"
+            );
+            assert!(
+                seen.insert((series.to_owned(), name.to_owned())),
+                "duplicate series `{line}`"
+            );
+        }
+        // Spot-check the lines the exporters above must have produced.
+        for needle in [
+            "sttlock_counter{name=\"cluster.dispatch\"} 6",
+            "sttlock_gauge{name=\"serve.in_flight\"} 2",
+            "sttlock_hist_count{name=\"serve.queue_wait\"} 1",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
     fn metrics_collector_aggregates_without_retaining_spans() {
         let _guard = test_lock();
         let metrics = MetricsCollector::new();

@@ -306,6 +306,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// Body bytes.
     pub body: Vec<u8>,
+    /// `Retry-After` header value in seconds, emitted when set (429/503
+    /// backpressure responses tell well-behaved clients when to retry).
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -315,6 +318,7 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into_bytes(),
+            retry_after: None,
         }
     }
 
@@ -324,6 +328,7 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: body.into_bytes(),
+            retry_after: None,
         }
     }
 
@@ -332,14 +337,25 @@ impl Response {
         Response::json(status, format!("{{\"error\":\"{}\"}}", json_escape(detail)))
     }
 
+    /// Attaches a `Retry-After: secs` header.
+    pub fn with_retry_after(mut self, secs: u64) -> Response {
+        self.retry_after = Some(secs);
+        self
+    }
+
     /// Serializes status line, headers and body.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let retry = match self.retry_after {
+            Some(secs) => format!("Retry-After: {secs}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n",
             self.status,
             reason(self.status),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            retry,
         );
         let mut out = head.into_bytes();
         out.extend_from_slice(&self.body);
@@ -501,5 +517,19 @@ mod tests {
         assert!(String::from_utf8(err.to_bytes())
             .unwrap()
             .contains("{\"error\":\"flow failed: \\\"quoted\\\"\"}"));
+    }
+
+    #[test]
+    fn retry_after_is_emitted_only_when_set() {
+        let plain = String::from_utf8(Response::error(429, "busy").to_bytes()).unwrap();
+        assert!(!plain.contains("Retry-After"), "{plain}");
+
+        let hinted = Response::error(429, "busy").with_retry_after(1);
+        let text = String::from_utf8(hinted.to_bytes()).unwrap();
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(
+            text.contains("\r\nConnection: close\r\n\r\n"),
+            "headers must stay well-formed: {text}"
+        );
     }
 }

@@ -82,6 +82,11 @@ pub struct ServeConfig {
     pub debug_endpoints: bool,
     /// Also record a full span trace, written here on shutdown.
     pub trace_path: Option<PathBuf>,
+    /// Install this server's metrics sink as the process-global obs
+    /// collector (and uninstall it on shutdown). The default; turn it
+    /// off when several servers share one process (the cluster tests
+    /// run a coordinator plus workers under one ambient collector).
+    pub install_obs: bool,
 }
 
 impl Default for ServeConfig {
@@ -95,9 +100,16 @@ impl Default for ServeConfig {
             limits: Limits::default(),
             debug_endpoints: false,
             trace_path: None,
+            install_obs: true,
         }
     }
 }
+
+/// An overlay route table: consulted before the built-in routes, so a
+/// layer above (the cluster coordinator/worker) can add endpoints while
+/// keeping `/healthz`, `/metrics` and `/admin/shutdown` for free.
+/// Returning `None` falls through to the built-in routing.
+pub type Router = Arc<dyn Fn(&http::Request, &Budget) -> Option<Response> + Send + Sync>;
 
 /// State shared by the accept thread, the workers and the handlers.
 pub(crate) struct Shared {
@@ -110,6 +122,8 @@ pub(crate) struct Shared {
     pub(crate) started: Instant,
     pub(crate) workers: usize,
     pub(crate) queue_depth: usize,
+    pub(crate) router: Option<Router>,
+    pub(crate) installed_obs: bool,
 }
 
 struct Job {
@@ -152,20 +166,30 @@ impl Server {
     /// Binds, installs the obs metrics sink and starts the pool.
     ///
     /// Installing is process-global: one server at a time. (Tests
-    /// serialize on that, the CLI runs exactly one.)
+    /// serialize on that, the CLI runs exactly one.) Servers started
+    /// with `install_obs: false` skip the install and leave whatever
+    /// collector is ambient in place.
     pub fn start(cfg: ServeConfig) -> io::Result<Server> {
+        Server::start_with_router(cfg, None)
+    }
+
+    /// [`Server::start`] with an overlay [`Router`] consulted before
+    /// the built-in routes on every request.
+    pub fn start_with_router(cfg: ServeConfig, router: Option<Router>) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
         let metrics = MetricsCollector::new();
         let trace = cfg.trace_path.clone().map(|p| (TraceCollector::new(), p));
-        match &trace {
-            Some((t, _)) => sttlock_obs::install(Fanout::new(vec![
-                metrics.clone() as Arc<dyn sttlock_obs::Collector>,
-                t.clone() as Arc<dyn sttlock_obs::Collector>,
-            ])),
-            None => sttlock_obs::install(metrics.clone()),
+        if cfg.install_obs {
+            match &trace {
+                Some((t, _)) => sttlock_obs::install(Fanout::new(vec![
+                    metrics.clone() as Arc<dyn sttlock_obs::Collector>,
+                    t.clone() as Arc<dyn sttlock_obs::Collector>,
+                ])),
+                None => sttlock_obs::install(metrics.clone()),
+            }
         }
 
         let workers = if cfg.workers > 0 {
@@ -183,6 +207,8 @@ impl Server {
             started: Instant::now(),
             workers,
             queue_depth: cfg.queue_depth,
+            router,
+            installed_obs: cfg.install_obs,
         });
 
         let pool = Arc::new(Pool::new(workers, cfg.queue_depth.max(1)));
@@ -254,7 +280,9 @@ impl Server {
             // half-written JSONL file.
             let _ = sttlock_store::write_atomic(&path, t.to_jsonl());
         }
-        sttlock_obs::uninstall();
+        if self.shared.installed_obs {
+            sttlock_obs::uninstall();
+        }
         self.joined = true;
         self.metrics.digest()
     }
@@ -330,7 +358,7 @@ fn submit(shared: &Arc<Shared>, pool: &Pool, stream: TcpStream) {
 fn reject_busy(mut stream: TcpStream) {
     sttlock_obs::counter("serve.rejected_busy", 1);
     count_status(429);
-    let resp = Response::error(429, "request queue is full, retry later");
+    let resp = Response::error(429, "request queue is full, retry later").with_retry_after(1);
     let _ = stream.write_all(&resp.to_bytes());
     let _ = stream.shutdown(Shutdown::Both);
 }
@@ -367,7 +395,8 @@ fn serve_connection(shared: &Shared, job: Job) {
                     ));
                 }
                 let _s = sttlock_obs::span!("request.compute");
-                Some(handlers::route(shared, &req, &budget))
+                let overlaid = shared.router.as_ref().and_then(|r| r(&req, &budget));
+                Some(overlaid.unwrap_or_else(|| handlers::route(shared, &req, &budget)))
             }
             Err(http::HttpError::ConnectionClosed) => None,
             Err(e) => {

@@ -263,10 +263,22 @@ fn full_queue_gets_fast_429s_not_drops() {
         t0.elapsed() < Duration::from_millis(400),
         "429 must not wait for the workers"
     );
+    assert_eq!(
+        busy.header("retry-after"),
+        Some("1"),
+        "the canned 429 must tell clients when to retry"
+    );
 
     for s in [first, second] {
         assert_eq!(s.join().unwrap(), 200);
     }
+
+    // The rejection is visible to scrapers, not just the rejected peer.
+    let scraped = get(&addr, "/metrics").body_text();
+    assert!(
+        scraped.contains("sttlock_counter{name=\"serve.rejected_busy\"} 1"),
+        "{scraped}"
+    );
     server.shutdown();
 }
 
